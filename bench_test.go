@@ -1,0 +1,451 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact — run `go test -bench=. -benchmem`)
+// plus micro-benchmarks of the runtime's hot operations and the ablation
+// studies called out in DESIGN.md. Custom metrics report the *simulated*
+// quantities (cycles, checkpoints, violations); ns/op measures the
+// simulator itself.
+package tics_test
+
+import (
+	"fmt"
+	"testing"
+
+	tics "repro"
+	"repro/internal/apps"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/link"
+	"repro/internal/power"
+	"repro/internal/sensors"
+	"repro/internal/timekeeper"
+	"repro/internal/vm"
+)
+
+// ---- One benchmark per paper artifact ----
+
+func BenchmarkTable1GHM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := rep.Data["rows"].([]experiments.Table1Row)
+		consistent := 0
+		for _, r := range rows {
+			if r.Consistent {
+				consistent++
+			}
+		}
+		b.ReportMetric(float64(consistent), "consistent-rows")
+	}
+}
+
+func BenchmarkTable2AR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		manual := rep.Data["manual"].(experiments.Table2Result)
+		withTICS := rep.Data["tics"].(experiments.Table2Result)
+		b.ReportMetric(float64(manual.TimelyBranch.Observed+manual.Misalignment.Observed+manual.Expiration.Observed), "violations-manual")
+		b.ReportMetric(float64(withTICS.TimelyBranch.Observed+withTICS.Misalignment.Observed+withTICS.Expiration.Observed), "violations-tics")
+	}
+}
+
+func BenchmarkTable3Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells := rep.Data["cells"].([]experiments.Table3Cell)
+		for _, c := range cells {
+			if c.App == "ar" && c.Runtime == "TICS" {
+				b.ReportMetric(float64(c.Data), "ar-tics-data-B")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4Ops(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms := rep.Data["measurements"].([]experiments.Table4Measurement)
+		for _, m := range ms {
+			if m.Operation == "Pointer access" && m.Config == "log 4 B" {
+				b.ReportMetric(float64(m.Cycles), "logged-store-cycles")
+			}
+		}
+	}
+}
+
+func BenchmarkTable5Probes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Data["stale"].(int)), "stale-windows")
+	}
+}
+
+func BenchmarkFig9Performance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		points := rep.Data["points"].([]experiments.Fig9Point)
+		for _, p := range points {
+			if p.App == "bc" && p.Config == "TICS-S2*" {
+				b.ReportMetric(float64(p.Cycles), "bc-tics-cycles")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10Study(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Per-benchmark-app simulated execution ----
+
+func benchApp(b *testing.B, app apps.App, kind tics.RuntimeKind) {
+	img, err := tics.Build(app.Source, tics.BuildOptions{Runtime: kind, SegmentBytes: 512, StackBytes: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := tics.NewMachine(img, tics.RunOptions{
+			Sensors:        sensors.NewBank(3),
+			AutoCpPeriodMs: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil || !res.Completed {
+			b.Fatalf("%v %+v", err, res)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+func BenchmarkAppAR(b *testing.B) { benchApp(b, apps.AR(), tics.RTTICS) }
+func BenchmarkAppBC(b *testing.B) { benchApp(b, apps.BC(), tics.RTTICS) }
+func BenchmarkAppCF(b *testing.B) { benchApp(b, apps.CF(), tics.RTTICS) }
+
+// ---- Runtime micro-benchmarks (host-side speed of the simulator) ----
+
+func microRig(b *testing.B, segBytes int) (*vm.Machine, *core.TICS) {
+	b.Helper()
+	prog, err := cc.Compile(`int g; int main() { g = 1; return 0; }`, cc.Options{OptLevel: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{SegmentBytes: segBytes, StackBytes: 2048}
+	img, err := link.Link(prog, core.Spec(cfg, prog.MinSegmentBytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := core.New(img, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := vm.New(vm.Config{Image: img, Runtime: rt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.PowerOn(1 << 60)
+	if err := rt.Boot(m, true); err != nil {
+		b.Fatal(err)
+	}
+	return m, rt
+}
+
+func BenchmarkCheckpoint(b *testing.B) {
+	for _, seg := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("segment-%dB", seg), func(b *testing.B) {
+			m, rt := microRig(b, seg)
+			c0 := m.Cycles()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.Checkpoint(m, vm.CpManual); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(m.Cycles()-c0)/float64(b.N), "sim-cycles/op")
+		})
+	}
+}
+
+func BenchmarkLoggedStore(b *testing.B) {
+	b.Run("working-stack-hit", func(b *testing.B) {
+		m, rt := microRig(b, 128)
+		addr := m.Regs.SP - 8
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := rt.LoggedStore(m, addr, 4, uint32(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("undo-logged", func(b *testing.B) {
+		m, rt := microRig(b, 128)
+		addr, _ := m.Img.GlobalAddr("g")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := rt.LoggedStore(m, addr, 4, uint32(i)); err != nil {
+				b.Fatal(err)
+			}
+			if i%100 == 99 { // keep the log from forcing checkpoints mid-measurement
+				if err := rt.Checkpoint(m, vm.CpManual); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	// Host-side speed: simulated instructions per wall second over the
+	// bitcount benchmark.
+	img, err := tics.Build(apps.BC().Source, tics.BuildOptions{Runtime: tics.RTPlain})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		m, err := tics.NewMachine(img, tics.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// ---- Ablations (DESIGN.md) ----
+
+// BenchmarkAblationSegmentSize sweeps the working-stack segment size on
+// BC under intermittent power: small segments trade frequent cheap
+// checkpoints against large segments' rare expensive ones.
+func BenchmarkAblationSegmentSize(b *testing.B) {
+	prog, err := tics.Compile(apps.BC().Source, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	min := prog.MinSegmentBytes()
+	for _, seg := range []int{min, 128, 256, 512} {
+		b.Run(fmt.Sprintf("segment-%dB", seg), func(b *testing.B) {
+			img, err := tics.Build(apps.BC().Source, tics.BuildOptions{
+				Runtime: tics.RTTICS, SegmentBytes: seg, StackBytes: 2048,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles, cps int64
+			for i := 0; i < b.N; i++ {
+				m, err := tics.NewMachine(img, tics.RunOptions{
+					Power:          &power.FailEvery{Cycles: 30_000, OffMs: 10},
+					AutoCpPeriodMs: 10,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := m.Run()
+				if err != nil || !res.Completed {
+					b.Fatalf("%v %+v", err, res)
+				}
+				cycles, cps = res.Cycles, res.TotalCheckpoints
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+			b.ReportMetric(float64(cps), "checkpoints")
+		})
+	}
+}
+
+// BenchmarkAblationCheckpointPolicy compares checkpoint placement
+// policies: stack-change-driven only, timer only (large segments), both,
+// and the ST task-boundary placement.
+func BenchmarkAblationCheckpointPolicy(b *testing.B) {
+	cases := []struct {
+		name    string
+		kind    tics.RuntimeKind
+		segment int
+		timerMs float64
+	}{
+		{"stack-change-only", tics.RTTICS, 0, 0},
+		{"timer-only", tics.RTTICS, 512, 10},
+		{"stack-change+timer", tics.RTTICS, 0, 10},
+		{"task-boundary", tics.RTTICSTask, 512, 10},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			img, err := tics.Build(apps.CF().Source, tics.BuildOptions{
+				Runtime: c.kind, SegmentBytes: c.segment, StackBytes: 2048,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles int64
+			completed := true
+			for i := 0; i < b.N; i++ {
+				m, err := tics.NewMachine(img, tics.RunOptions{
+					Power:          &power.FailEvery{Cycles: 25_000, OffMs: 10},
+					AutoCpPeriodMs: c.timerMs,
+					MaxCycles:      200_000_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := m.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles, completed = res.Cycles, res.Completed
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+			if !completed {
+				b.ReportMetric(1, "starved")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUndoGranularity compares word-granularity undo logging
+// (the paper's design) against block-granularity logging with per-epoch
+// dedup: hot globals (BC's counters, CF's buckets) pay the logging cost
+// once per checkpoint epoch instead of on every store.
+func BenchmarkAblationUndoGranularity(b *testing.B) {
+	for _, block := range []int{4, 16, 32} {
+		b.Run(fmt.Sprintf("block-%dB", block), func(b *testing.B) {
+			img, err := tics.Build(apps.CF().Source, tics.BuildOptions{
+				Runtime: tics.RTTICS, SegmentBytes: 512, StackBytes: 2048, UndoBlockBytes: block,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				m, err := tics.NewMachine(img, tics.RunOptions{AutoCpPeriodMs: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := m.Run()
+				if err != nil || !res.Completed {
+					b.Fatalf("%v %+v", err, res)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationDifferentialCheckpoint contrasts TICS's fixed
+// whole-segment checkpoints with differential (used-tail-only) ones: the
+// differential form is cheaper on shallow stacks but loses the fixed
+// worst-case bound that motivates stack segmentation.
+func BenchmarkAblationDifferentialCheckpoint(b *testing.B) {
+	for _, diff := range []bool{false, true} {
+		name := "fixed"
+		if diff {
+			name = "differential"
+		}
+		b.Run(name, func(b *testing.B) {
+			img, err := tics.Build(apps.BC().Source, tics.BuildOptions{
+				Runtime: tics.RTTICS, SegmentBytes: 512, StackBytes: 2048,
+				DifferentialCheckpoints: diff,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles, cps int64
+			for i := 0; i < b.N; i++ {
+				m, err := tics.NewMachine(img, tics.RunOptions{
+					Power:          &power.FailEvery{Cycles: 30_000, OffMs: 10},
+					AutoCpPeriodMs: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := m.Run()
+				if err != nil || !res.Completed {
+					b.Fatalf("%v %+v", err, res)
+				}
+				cycles, cps = res.Cycles, res.TotalCheckpoints
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+			b.ReportMetric(float64(cps), "checkpoints")
+		})
+	}
+}
+
+// BenchmarkAblationTimekeeper measures how the persistent clock's off-time
+// error model changes the AR application's freshness decisions: a sloppy
+// remanence timer misjudges outage lengths, so stale windows slip through
+// as fresh (or fresh ones are discarded).
+func BenchmarkAblationTimekeeper(b *testing.B) {
+	clocks := []struct {
+		name string
+		mk   func() timekeeper.Keeper
+	}{
+		{"perfect", func() timekeeper.Keeper { return &timekeeper.Perfect{} }},
+		{"rtc-10ms", func() timekeeper.Keeper { return &timekeeper.RTC{ResolutionMs: 10} }},
+		{"remanence-10pct", func() timekeeper.Keeper { return timekeeper.NewRemanence(0.1, 5000, 3) }},
+		{"remanence-50pct", func() timekeeper.Keeper { return timekeeper.NewRemanence(0.5, 5000, 3) }},
+	}
+	img, err := tics.Build(apps.AR().Source, tics.BuildOptions{Runtime: tics.RTTICS})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range clocks {
+		b.Run(c.name, func(b *testing.B) {
+			var fresh, stale int64
+			for i := 0; i < b.N; i++ {
+				m, err := tics.NewMachine(img, tics.RunOptions{
+					Power:          power.NewHarvester(40_000, 450, 0.8, 8),
+					Clock:          c.mk(),
+					Sensors:        sensors.NewBank(8),
+					AutoCpPeriodMs: 10,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := m.Run()
+				if err != nil || !res.Completed {
+					b.Fatalf("%v %+v", err, res)
+				}
+				fresh, stale = res.MarkCounts[3], res.MarkCounts[4]
+			}
+			b.ReportMetric(float64(fresh), "fresh-windows")
+			b.ReportMetric(float64(stale), "stale-windows")
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package tics_test
+
+import (
+	"testing"
+
+	tics "repro"
+	"repro/internal/power"
+)
+
+// starvationSrc carries a few kilobytes of non-volatile state, so a
+// full-state checkpoint costs more energy than a short power window
+// delivers.
+const starvationSrc = `
+int big0[256];
+int big1[256];
+int big2[256];
+int sum;
+
+int main() {
+    int i;
+    for (i = 0; i < 256; i++) {
+        big0[i] = i;
+        big1[i] = i * 2;
+        big2[i] = i ^ 85;
+    }
+    for (i = 0; i < 256; i++) {
+        sum += big0[i] + big1[i] + big2[i];
+    }
+    out(0, sum);
+    return 0;
+}
+`
+
+// TestStarvationClaim pins the paper's headline systems claim (§1): naive
+// checkpointing systems starve when the checkpointed state outgrows the
+// energy reservoir — "the checkpointed state grows with the size of the
+// main memory and unfortunately leads to a system starvation" — while
+// TICS's bounded working-segment checkpoints keep fitting and the same
+// program completes in the same windows.
+func TestStarvationClaim(t *testing.T) {
+	const windowCycles = 9_000 // too little energy for a ~3 KB state copy
+
+	naive, err := tics.Build(starvationSrc, tics.BuildOptions{Runtime: tics.RTMementos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tics.NewMachine(naive, tics.RunOptions{
+		Power:       &power.FailEvery{Cycles: windowCycles, OffMs: 10},
+		MaxCycles:   200_000_000,
+		MaxFailures: 100_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || !res.Starved {
+		t.Fatalf("naive checkpointing should starve here, got %+v", res)
+	}
+
+	ticsImg, err := tics.Build(starvationSrc, tics.BuildOptions{Runtime: tics.RTTICS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = tics.NewMachine(ticsImg, tics.RunOptions{
+		Power:          &power.FailEvery{Cycles: windowCycles, OffMs: 10},
+		AutoCpPeriodMs: 2,
+		MaxCycles:      500_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("TICS starved in the same windows: %+v", res)
+	}
+	// And the committed result is correct.
+	oracle, err := tics.Run(starvationSrc, tics.BuildOptions{Runtime: tics.RTPlain}, tics.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutLog[0][0] != oracle.OutLog[0][0] {
+		t.Fatalf("TICS result wrong: %d != %d", res.OutLog[0][0], oracle.OutLog[0][0])
+	}
+	if res.Failures < 10 {
+		t.Fatalf("the TICS run barely saw intermittency: %d failures", res.Failures)
+	}
+}

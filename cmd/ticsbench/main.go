@@ -1,0 +1,57 @@
+// Command ticsbench regenerates the paper's evaluation: every table and
+// figure of §5, printed in the paper's row/series format.
+//
+//	ticsbench -experiment all
+//	ticsbench -experiment table2
+//	ticsbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (table1..table5, fig8..fig10) or 'all'")
+		list       = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *experiment == "all" {
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*experiment, ",")
+	}
+	for i, id := range ids {
+		e, ok := experiments.Find(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ticsbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		rep, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ticsbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println(strings.Repeat("=", 78))
+		}
+		fmt.Print(rep.Text)
+		fmt.Println()
+	}
+}

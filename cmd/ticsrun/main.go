@@ -1,0 +1,209 @@
+// Command ticsrun executes a TICS-C program (or a built-in benchmark) on
+// the simulated intermittently powered device and reports what happened:
+// completion, failures, checkpoints, routine counters, radio log.
+//
+//	ticsrun -app bc -runtime tics -power fail:9000 -timer 10
+//	ticsrun -app ghm -runtime plain -power duty:0.48 -wall 30000
+//	ticsrun -runtime mementos program.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	tics "repro"
+	"repro/internal/apps"
+	"repro/internal/power"
+	"repro/internal/sensors"
+	"repro/internal/timekeeper"
+)
+
+func main() {
+	var (
+		runtime  = flag.String("runtime", "tics", "runtime: plain|tics|tics-st|mementos|chinchilla|alpaca|ink|mayfly")
+		appName  = flag.String("app", "", "run a built-in benchmark instead of a file")
+		powerArg = flag.String("power", "continuous", "power source: continuous | duty:RATE | fail:CYCLES | harvest:CAP,RATE")
+		timerMs  = flag.Float64("timer", 0, "timer-driven checkpoint period in ms (0 = off)")
+		wallMs   = flag.Float64("wall", 0, "wall-clock budget in ms (0 = run to completion)")
+		segment  = flag.Int("segment", 0, "TICS segment bytes (0 = minimum)")
+		seed     = flag.Uint64("seed", 1, "sensor/power seed")
+		clockArg = flag.String("clock", "perfect", "persistent timekeeper: perfect | rtc:RES_MS | remanence:ERR,MAX_MS")
+	)
+	flag.Parse()
+
+	opts := tics.BuildOptions{Runtime: tics.RuntimeKind(*runtime), SegmentBytes: *segment}
+	var src string
+	if *appName != "" {
+		app, ok := apps.ByName(*appName)
+		if !ok {
+			fatal(fmt.Errorf("unknown app %q", *appName))
+		}
+		src = app.Source
+		if opts.Runtime == tics.RTAlpaca || opts.Runtime == tics.RTInK || opts.Runtime == tics.RTMayFly {
+			taskSrc, tasks, edges := app.TaskSource, app.Tasks, app.Edges
+			if opts.Runtime == tics.RTMayFly {
+				taskSrc, tasks, edges = app.ForMayfly()
+			}
+			if taskSrc == "" {
+				fatal(fmt.Errorf("%s has no task port", app.Name))
+			}
+			src, opts.Tasks, opts.Edges = taskSrc, tasks, edges
+		}
+	} else {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("usage: ticsrun [-flags] program.c (or -app NAME)"))
+		}
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	}
+
+	src2, err := parsePower(*powerArg, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	clock, err := parseClock(*clockArg, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	img, err := tics.Build(src, opts)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := tics.NewMachine(img, tics.RunOptions{
+		Power:          src2,
+		Clock:          clock,
+		Sensors:        sensors.NewBank(*seed),
+		AutoCpPeriodMs: *timerMs,
+		MaxWallMs:      *wallMs,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ticsrun: fault: %v\n", err)
+	}
+
+	status := "completed"
+	switch {
+	case res.Starved:
+		status = "STARVED"
+	case res.TimedOut:
+		status = "timed out (wall budget)"
+	case res.Fault != nil:
+		status = "FAULT: " + res.Fault.Error()
+	case !res.Completed:
+		status = "did not complete"
+	}
+	fmt.Printf("status:       %s\n", status)
+	fmt.Printf("cycles:       %d (%.1f ms on, %.1f ms off, %d failures, %d restores)\n",
+		res.Cycles, res.OnMs, res.OffMs, res.Failures, res.Restores)
+	fmt.Printf("checkpoints:  %d %v\n", res.TotalCheckpoints, res.Checkpoints)
+	if len(res.MarkCounts) > 0 {
+		fmt.Printf("marks:        %v\n", res.MarkCounts)
+	}
+	for _, ch := range sortedChannels(res.OutLog) {
+		fmt.Printf("out[%d]:       %v\n", ch, res.OutLog[ch])
+	}
+	if n := len(res.SendLog); n > 0 {
+		fmt.Printf("radio:        %d packets, first %v\n", n, res.SendLog[0].Value)
+	}
+	if len(res.RuntimeStats) > 0 {
+		var keys []string
+		for k := range res.RuntimeStats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("runtime:      ")
+		for i, k := range keys {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s=%d", k, res.RuntimeStats[k])
+		}
+		fmt.Println()
+	}
+}
+
+func sortedChannels(m map[int32][]int32) []int32 {
+	var chs []int32
+	for ch := range m {
+		chs = append(chs, ch)
+	}
+	sort.Slice(chs, func(i, j int) bool { return chs[i] < chs[j] })
+	return chs
+}
+
+func parsePower(arg string, seed uint64) (power.Source, error) {
+	switch {
+	case arg == "continuous":
+		return power.Continuous{}, nil
+	case strings.HasPrefix(arg, "duty:"):
+		rate, err := strconv.ParseFloat(arg[5:], 64)
+		if err != nil {
+			return nil, err
+		}
+		return &power.DutyCycle{Rate: rate, OnMs: 40}, nil
+	case strings.HasPrefix(arg, "fail:"):
+		n, err := strconv.ParseInt(arg[5:], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return &power.FailEvery{Cycles: n, OffMs: 20}, nil
+	case strings.HasPrefix(arg, "harvest:"):
+		parts := strings.Split(arg[8:], ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("harvest wants CAP,RATE")
+		}
+		cap, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, err
+		}
+		rate, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, err
+		}
+		return power.NewHarvester(cap, rate, 0.8, seed), nil
+	}
+	return nil, fmt.Errorf("unknown power source %q", arg)
+}
+
+func parseClock(arg string, seed uint64) (timekeeper.Keeper, error) {
+	switch {
+	case arg == "perfect":
+		return &timekeeper.Perfect{}, nil
+	case strings.HasPrefix(arg, "rtc:"):
+		res, err := strconv.ParseFloat(arg[4:], 64)
+		if err != nil {
+			return nil, err
+		}
+		return &timekeeper.RTC{ResolutionMs: res}, nil
+	case strings.HasPrefix(arg, "remanence:"):
+		parts := strings.Split(arg[10:], ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("remanence wants ERR,MAX_MS")
+		}
+		errFrac, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, err
+		}
+		max, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, err
+		}
+		return timekeeper.NewRemanence(errFrac, max, seed), nil
+	}
+	return nil, fmt.Errorf("unknown clock %q", arg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ticsrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Greenhouse: the Table 1 story as a demo. The unmodified greenhouse
+// monitoring program — in both its plain-C and TinyOS-event forms — runs
+// for a fixed wall-clock budget at several intermittency rates, with and
+// without TICS, and we check whether its four routines executed in lock
+// step (the paper's consistency criterion).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tics "repro"
+	"repro/internal/apps"
+	"repro/internal/power"
+	"repro/internal/sensors"
+)
+
+func main() {
+	variants := []struct {
+		label   string
+		app     apps.App
+		runtime tics.RuntimeKind
+	}{
+		{"plain C        ", apps.GHMPlain(), tics.RTPlain},
+		{"plain C + TICS ", apps.GHMPlain(), tics.RTTICS},
+		{"TinyOS         ", apps.GHMTinyOS(), tics.RTPlain},
+		{"TinyOS + TICS  ", apps.GHMTinyOS(), tics.RTTICS},
+	}
+	fmt.Println("GHM routine executions over a 20 s budget (moisture/temp/compute/send):")
+	for _, rate := range []float64{0.04, 0.48, 1.00} {
+		fmt.Printf("\nintermittency rate %.0f%%\n", rate*100)
+		for _, v := range variants {
+			img, err := tics.Build(v.app.Source, tics.BuildOptions{Runtime: v.runtime})
+			if err != nil {
+				log.Fatal(err)
+			}
+			var src tics.RunOptions
+			src = tics.RunOptions{
+				Power:          powerFor(rate),
+				Sensors:        sensors.NewBank(11),
+				AutoCpPeriodMs: 10,
+				MaxWallMs:      20_000,
+			}
+			m, err := tics.NewMachine(img, src)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			verdict := "consistent"
+			if spread(res.MarkCounts) > 1 {
+				verdict = "INCONSISTENT"
+			}
+			fmt.Printf("  %s %6d %6d %6d %6d   %s\n", v.label,
+				res.MarkCounts[0], res.MarkCounts[1], res.MarkCounts[2], res.MarkCounts[3], verdict)
+		}
+	}
+}
+
+func powerFor(rate float64) power.Source {
+	if rate >= 1 {
+		return power.Continuous{}
+	}
+	pattern := []float64{12, 35, 8, 50, 20, 6, 28, 90}
+	var ws []power.Window
+	for _, on := range pattern {
+		ws = append(ws, power.Window{OnMs: on, OffMs: on * (1 - rate) / rate})
+	}
+	return &power.Trace{Windows: ws, Loop: true}
+}
+
+func spread(xs []int64) int64 {
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return max - min
+}

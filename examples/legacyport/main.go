@@ -1,0 +1,78 @@
+// Legacyport: the porting-effort story. One legacy program — the cuckoo
+// filter, with pointers-free array code and a cross-task eviction loop —
+// is taken to intermittent power four ways:
+//
+//   - unmodified under TICS (zero porting effort),
+//   - unmodified under the naive full-state checkpointer (works, but the
+//     checkpoints are enormous),
+//   - unmodified under Chinchilla (compiles here; the recursive bitcount
+//     benchmark would not),
+//   - hand-decomposed into five tasks for Alpaca (the rewrite the paper's
+//     Figure 2 laments) — and the same decomposition rejected by MayFly
+//     because the eviction loop makes the task graph cyclic.
+//
+// All successful builds are run under identical intermittent power and
+// must commit identical results.
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+
+	tics "repro"
+	"repro/internal/apps"
+	"repro/internal/power"
+)
+
+func main() {
+	app := apps.CF()
+	oracle, err := tics.Run(app.Source, tics.BuildOptions{Runtime: tics.RTPlain}, tics.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oracle (continuous power): inserted=%d found=%d false-positives=%d\n\n",
+		oracle.OutLog[0][0], oracle.OutLog[1][0], oracle.OutLog[2][0])
+
+	type variant struct {
+		label string
+		src   string
+		opts  tics.BuildOptions
+	}
+	variants := []variant{
+		{"TICS (legacy source, unmodified)", app.Source, tics.BuildOptions{Runtime: tics.RTTICS}},
+		{"naive checkpointer (unmodified)", app.Source, tics.BuildOptions{Runtime: tics.RTMementos}},
+		{"Chinchilla (unmodified)", app.Source, tics.BuildOptions{Runtime: tics.RTChinchilla}},
+		{"Alpaca (hand task decomposition)", app.TaskSource,
+			tics.BuildOptions{Runtime: tics.RTAlpaca, Tasks: app.Tasks, Edges: app.Edges}},
+	}
+	for _, v := range variants {
+		img, err := tics.Build(v.src, v.opts)
+		if err != nil {
+			fmt.Printf("%-36s build failed: %v\n", v.label, err)
+			continue
+		}
+		m, err := tics.NewMachine(img, tics.RunOptions{
+			Power:          &power.FailEvery{Cycles: 15_000, OffMs: 25},
+			AutoCpPeriodMs: 10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := "results match the oracle"
+		if !reflect.DeepEqual(res.OutLog, oracle.OutLog) {
+			match = "RESULTS DIVERGE"
+		}
+		fmt.Printf("%-36s %4d failures, %5d checkpoints, %7d cycles — %s\n",
+			v.label, res.Failures, res.TotalCheckpoints, res.Cycles, match)
+	}
+
+	// MayFly: the decomposition's eviction loop is a graph cycle.
+	_, err = tics.Build(app.TaskSource,
+		tics.BuildOptions{Runtime: tics.RTMayFly, Tasks: app.Tasks, Edges: app.Edges})
+	fmt.Printf("%-36s %v\n", "MayFly (same decomposition)", err)
+}

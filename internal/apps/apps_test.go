@@ -1,0 +1,246 @@
+package apps_test
+
+import (
+	"reflect"
+	"testing"
+
+	tics "repro"
+	"repro/internal/apps"
+	"repro/internal/power"
+)
+
+// oracle runs an app's legacy source under the plain runtime on continuous
+// power and returns its out-channel map.
+func oracle(t *testing.T, src string) map[int32][]int32 {
+	t.Helper()
+	res, err := tics.Run(src, tics.BuildOptions{Runtime: tics.RTPlain}, tics.RunOptions{})
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if !res.Completed {
+		t.Fatalf("oracle did not complete: %+v", res)
+	}
+	return res.OutLog
+}
+
+func sameOut(t *testing.T, label string, got, want map[int32][]int32) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: outputs diverge:\n got  %v\n want %v", label, got, want)
+	}
+}
+
+func TestBCAcrossRuntimes(t *testing.T) {
+	app := apps.BC()
+	want := oracle(t, app.Source)
+	if len(want[0]) != 1 || want[0][0] <= 0 {
+		t.Fatalf("bc oracle bitcount sum looks wrong: %v", want[0])
+	}
+	if want[1][0] != 1 {
+		t.Fatalf("bc methods disagree in the oracle: %v", want)
+	}
+
+	for _, rt := range []tics.RuntimeKind{tics.RTTICS, tics.RTTICSTask, tics.RTMementos} {
+		res, err := tics.Run(app.Source, tics.BuildOptions{Runtime: rt}, tics.RunOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", rt, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s: did not complete: %+v", rt, res)
+		}
+		sameOut(t, string(rt), res.OutLog, want)
+	}
+
+	// Chinchilla cannot compile the recursive method (§5.3.1).
+	if _, err := tics.Build(app.Source, tics.BuildOptions{Runtime: tics.RTChinchilla}); err == nil {
+		t.Fatal("chinchilla accepted a recursive program")
+	}
+
+	// Task ports reproduce the same results.
+	for _, rt := range []tics.RuntimeKind{tics.RTAlpaca, tics.RTInK} {
+		res, err := tics.Run(app.TaskSource, tics.BuildOptions{Runtime: rt, Tasks: app.Tasks, Edges: app.Edges}, tics.RunOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", rt, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s: did not complete: %+v", rt, res)
+		}
+		sameOut(t, string(rt), res.OutLog, want)
+	}
+
+	// MayFly needs the loop-free decomposition; the natural port's graph
+	// is cyclic and must be rejected.
+	if _, err := tics.Build(app.TaskSource, tics.BuildOptions{Runtime: tics.RTMayFly, Tasks: app.Tasks, Edges: app.Edges}); err == nil {
+		t.Fatal("mayfly accepted a cyclic task graph")
+	}
+	mfSrc, mfTasks, mfEdges := app.ForMayfly()
+	res, err := tics.Run(mfSrc, tics.BuildOptions{Runtime: tics.RTMayFly, Tasks: mfTasks, Edges: mfEdges}, tics.RunOptions{})
+	if err != nil {
+		t.Fatalf("mayfly: %v", err)
+	}
+	sameOut(t, "mayfly", res.OutLog, want)
+}
+
+func TestBCIntermittentAcrossRuntimes(t *testing.T) {
+	app := apps.BC()
+	want := oracle(t, app.Source)
+	cases := []struct {
+		label string
+		src   string
+		opts  tics.BuildOptions
+	}{
+		{"tics", app.Source, tics.BuildOptions{Runtime: tics.RTTICS}},
+		{"mementos", app.Source, tics.BuildOptions{Runtime: tics.RTMementos}},
+		{"alpaca", app.TaskSource, tics.BuildOptions{Runtime: tics.RTAlpaca, Tasks: app.Tasks, Edges: app.Edges}},
+	}
+	for _, c := range cases {
+		img, err := tics.Build(c.src, c.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		for _, every := range []int64{40_000, 12_345} {
+			m, err := tics.NewMachine(img, tics.RunOptions{
+				Power:          &power.FailEvery{Cycles: every, OffMs: 10},
+				AutoCpPeriodMs: 5,
+				MaxCycles:      3_000_000_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatalf("%s fail-every-%d: %v", c.label, every, err)
+			}
+			if !res.Completed {
+				t.Fatalf("%s fail-every-%d: did not complete: starved=%v failures=%d",
+					c.label, every, res.Starved, res.Failures)
+			}
+			sameOut(t, c.label, res.OutLog, want)
+		}
+	}
+}
+
+func TestCFAcrossRuntimes(t *testing.T) {
+	app := apps.CF()
+	want := oracle(t, app.Source)
+	if got := want[0][0]; got < 70 {
+		t.Fatalf("cuckoo filter inserted only %d of 80 keys", got)
+	}
+	if want[1][0] != want[0][0] {
+		t.Fatalf("cuckoo filter lost keys: inserted %d, found %d", want[0][0], want[1][0])
+	}
+
+	for _, rt := range []tics.RuntimeKind{tics.RTTICS, tics.RTMementos, tics.RTChinchilla} {
+		res, err := tics.Run(app.Source, tics.BuildOptions{Runtime: rt}, tics.RunOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", rt, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s: did not complete: %+v", rt, res)
+		}
+		sameOut(t, string(rt), res.OutLog, want)
+	}
+	for _, rt := range []tics.RuntimeKind{tics.RTAlpaca, tics.RTInK} {
+		res, err := tics.Run(app.TaskSource, tics.BuildOptions{Runtime: rt, Tasks: app.Tasks, Edges: app.Edges}, tics.RunOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", rt, err)
+		}
+		sameOut(t, string(rt), res.OutLog, want)
+	}
+	// The paper: "Cuckoo cannot be implemented in MayFly since loops are
+	// not allowed in a MayFly task graph."
+	if _, err := tics.Build(app.TaskSource, tics.BuildOptions{Runtime: tics.RTMayFly, Tasks: app.Tasks, Edges: app.Edges}); err == nil {
+		t.Fatal("mayfly accepted the cuckoo filter's cyclic task graph")
+	}
+}
+
+func TestARVariantsRun(t *testing.T) {
+	app := apps.AR()
+	res, err := tics.Run(app.Source, tics.BuildOptions{Runtime: tics.RTTICS}, tics.RunOptions{AutoCpPeriodMs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || len(res.OutLog[0]) != 1 || res.OutLog[0][0] != 30 {
+		t.Fatalf("annotated AR: %+v", res)
+	}
+	vg := false
+	res, err = tics.Run(app.ManualSource, tics.BuildOptions{Runtime: tics.RTMementos, VersionGlobals: &vg}, tics.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("manual AR under mementos: %+v", res)
+	}
+	res, err = tics.Run(app.TaskSource, tics.BuildOptions{Runtime: tics.RTMayFly, Tasks: app.Tasks, Edges: app.Edges}, tics.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("AR mayfly port: %+v", res)
+	}
+}
+
+func TestGHMRunsForBudget(t *testing.T) {
+	for _, app := range []apps.App{apps.GHMPlain(), apps.GHMTinyOS()} {
+		res, err := tics.Run(app.Source, tics.BuildOptions{Runtime: tics.RTTICS},
+			tics.RunOptions{AutoCpPeriodMs: 10, MaxWallMs: 3000})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if !res.TimedOut {
+			t.Fatalf("%s: expected a timed-out infinite loop, got %+v", app.Name, res)
+		}
+		for i, c := range res.MarkCounts {
+			if c == 0 {
+				t.Fatalf("%s: routine %d never ran: %v", app.Name, i, res.MarkCounts)
+			}
+		}
+	}
+}
+
+func TestSmallProgramsUnderTICS(t *testing.T) {
+	for _, app := range []apps.App{apps.Swap(), apps.Bubble(), apps.Timekeeping()} {
+		want := oracle(t, app.Source)
+		res, err := tics.Run(app.Source, tics.BuildOptions{Runtime: tics.RTTICS}, tics.RunOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s: did not complete", app.Name)
+		}
+		sameOut(t, app.Name, res.OutLog, want)
+	}
+}
+
+// TestARMayflyTokenExpiry: under harvesting with outages beyond the 200 ms
+// edge constraint, the MayFly port reroutes stale windows back to the
+// sampling task instead of classifying them.
+func TestARMayflyTokenExpiry(t *testing.T) {
+	app := apps.AR()
+	src, tasks, edges := app.ForMayfly()
+	img, err := tics.Build(src, tics.BuildOptions{Runtime: tics.RTMayFly, Tasks: tasks, Edges: edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tics.NewMachine(img, tics.RunOptions{
+		Power:     power.NewHarvester(20_000, 60, 0.8, 5), // outages ≫ 200 ms
+		MaxCycles: 2_000_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("mayfly AR under harsh power: %+v", res)
+	}
+	if res.RuntimeStats["expired-tokens"] == 0 {
+		t.Fatalf("no MayFly tokens expired under long outages: %v", res.RuntimeStats)
+	}
+	// Rerouting means more sampling runs than classified windows.
+	if res.MarkCounts[0] <= res.MarkCounts[2] {
+		t.Fatalf("sampling (%d) not above classification (%d)", res.MarkCounts[0], res.MarkCounts[2])
+	}
+}

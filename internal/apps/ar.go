@@ -1,0 +1,417 @@
+package apps
+
+import "repro/internal/taskrt"
+
+// arSource is the TICS-annotated activity-recognition application (§5.2,
+// Figure 8): a window of three-axis accelerometer samples is collected
+// with atomic data+timestamp assignment (@=), consumed only while fresh
+// (@expires/catch, 200 ms), classified against trained centroids, and
+// activity-change alerts are sent only before their deadline (@timely).
+// The timelyA/timelyB arrays record which @timely branch committed per
+// round — the Table 2 detector reads them to count timely-branch
+// violations (both set for one round = violation).
+const arSource = `
+// Activity recognition (AR), TICS-annotated.
+#define WINDOW 8
+#define ROUNDS 30
+#define FRESH_MS 200
+
+@expires_after=200 int accel[24];
+int fmean[3];
+int fstd[3];
+int activity;
+int lastact;
+int tchange;
+int rounds_done;
+int alertsum;
+int timelyA[30];
+int timelyB[30];
+
+int cm_still[3] = {0, 0, 1000};
+int cs_still[3] = {10, 10, 10};
+int cm_move[3]  = {0, 0, 1000};
+int cs_move[3]  = {230, 230, 230};
+
+int isqrt(int x) {
+    int r = 0;
+    int b = 1073741824;
+    while (b > x) { b = b >> 2; }
+    while (b != 0) {
+        if (x >= r + b) { x = x - (r + b); r = (r >> 1) + b; }
+        else { r = r >> 1; }
+        b = b >> 2;
+    }
+    return r;
+}
+
+int read_axis(int j) {
+    int a = j % 3;
+    if (a == 0) { return sense(0); }
+    if (a == 1) { return sense(1); }
+    return sense(2);
+}
+
+void sample_window() {
+    int j;
+    for (j = 0; j < 24; j++) {
+        accel[j] @= read_axis(j);
+    }
+    mark(0);
+}
+
+void featurize() {
+    int a;
+    int i;
+    int sum;
+    int v;
+    int d;
+    for (a = 0; a < 3; a++) {
+        sum = 0;
+        for (i = 0; i < WINDOW; i++) { sum += accel[i * 3 + a]; }
+        fmean[a] = sum / WINDOW;
+        v = 0;
+        for (i = 0; i < WINDOW; i++) {
+            d = accel[i * 3 + a] - fmean[a];
+            v += d * d;
+        }
+        fstd[a] = isqrt(v / WINDOW);
+    }
+    mark(1);
+}
+
+int dist(int *cm, int *cs) {
+    int a;
+    int s = 0;
+    int d;
+    for (a = 0; a < 3; a++) {
+        d = fmean[a] - cm[a];
+        s += d * d;
+        d = fstd[a] - cs[a];
+        s += d * d;
+    }
+    return s;
+}
+
+void classify() {
+    int dstill = dist(cm_still, cs_still);
+    int dmove = dist(cm_move, cs_move);
+    if (dmove < dstill) { activity = 1; } else { activity = 0; }
+    mark(2);
+}
+
+// prepare_alert assembles the alert payload between the deadline stamp and
+// the timely branch — the window where a badly placed checkpoint makes a
+// legacy program take both branches (Figure 3b).
+void prepare_alert() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 96; i++) { s += accel[i % 24] ^ (i << 2); }
+    alertsum = s;
+}
+
+int main() {
+    int r;
+    lastact = -1;
+    for (r = 0; r < ROUNDS; r++) {
+        sample_window();
+        @expires(accel[0]) {
+            featurize();
+            classify();
+            mark(3);
+            send(activity);
+            tchange = now();
+            prepare_alert();
+            @timely(tchange + 200) {
+                send(1000 + activity);
+                timelyA[r] = 1;
+            } else {
+                send(2000 + activity);
+                timelyB[r] = 1;
+            }
+            lastact = activity;
+        } catch {
+            mark(4);
+        }
+        rounds_done = r + 1;
+    }
+    out(0, rounds_done);
+    return 0;
+}
+`
+
+// arManualSource is the legacy version: the same application with manual
+// timestamps (paper §5.2: "manual management of time and using
+// MementOS-like checkpoints"). Run under the broken-consistency Mementos
+// configuration it exhibits all three time-consistency violations of
+// Figure 3(b)-(d): trigger checkpoints land between timestamp and data
+// writes (misalignment), between the freshness check and consumption
+// (expiration), and between the timestamp gather and the branch (timely
+// branch, leaving evidence in both timelyA and timelyB).
+const arManualSource = `
+// Activity recognition (AR), legacy manual-time version.
+#define WINDOW 8
+#define ROUNDS 30
+#define FRESH_MS 200
+
+int accel[24];
+int ats[24];
+int fmean[3];
+int fstd[3];
+int activity;
+int lastact;
+int tchange;
+int rounds_done;
+int alertsum;
+int timelyA[30];
+int timelyB[30];
+
+int cm_still[3] = {0, 0, 1000};
+int cs_still[3] = {10, 10, 10};
+int cm_move[3]  = {0, 0, 1000};
+int cs_move[3]  = {230, 230, 230};
+
+int isqrt(int x) {
+    int r = 0;
+    int b = 1073741824;
+    while (b > x) { b = b >> 2; }
+    while (b != 0) {
+        if (x >= r + b) { x = x - (r + b); r = (r >> 1) + b; }
+        else { r = r >> 1; }
+        b = b >> 2;
+    }
+    return r;
+}
+
+int read_axis(int j) {
+    int a = j % 3;
+    if (a == 0) { return sense(0); }
+    if (a == 1) { return sense(1); }
+    return sense(2);
+}
+
+void sample_window() {
+    int j;
+    for (j = 0; j < 24; j++) {
+        ats[j] = now();
+        accel[j] = read_axis(j);
+    }
+    mark(0);
+}
+
+void featurize() {
+    int a;
+    int i;
+    int sum;
+    int v;
+    int d;
+    for (a = 0; a < 3; a++) {
+        sum = 0;
+        for (i = 0; i < WINDOW; i++) { sum += accel[i * 3 + a]; }
+        fmean[a] = sum / WINDOW;
+        v = 0;
+        for (i = 0; i < WINDOW; i++) {
+            d = accel[i * 3 + a] - fmean[a];
+            v += d * d;
+        }
+        fstd[a] = isqrt(v / WINDOW);
+    }
+    mark(1);
+}
+
+int dist(int *cm, int *cs) {
+    int a;
+    int s = 0;
+    int d;
+    for (a = 0; a < 3; a++) {
+        d = fmean[a] - cm[a];
+        s += d * d;
+        d = fstd[a] - cs[a];
+        s += d * d;
+    }
+    return s;
+}
+
+void classify() {
+    int dstill = dist(cm_still, cs_still);
+    int dmove = dist(cm_move, cs_move);
+    if (dmove < dstill) { activity = 1; } else { activity = 0; }
+    mark(2);
+}
+
+void prepare_alert() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 96; i++) { s += accel[i % 24] ^ (i << 2); }
+    alertsum = s;
+}
+
+int main() {
+    int r;
+    lastact = -1;
+    for (r = 0; r < ROUNDS; r++) {
+        sample_window();
+        if (now() - ats[0] <= FRESH_MS) {
+            featurize();
+            classify();
+            mark(3);
+            send(activity);
+            tchange = now();
+            prepare_alert();
+            if (now() < tchange + 200) {
+                send(1000 + activity);
+                timelyA[r] = 1;
+            } else {
+                send(2000 + activity);
+                timelyB[r] = 1;
+            }
+            lastact = activity;
+        } else {
+            mark(4);
+        }
+        rounds_done = r + 1;
+    }
+    out(0, rounds_done);
+    return 0;
+}
+`
+
+// arTaskSource is the hand port to the task model: the chain the paper's
+// Figure 2 caricatures. Pointers had to go (dist is duplicated per
+// centroid), and the window flows between tasks through globals. The
+// sample→featurize edge carries the 200 ms freshness constraint in the
+// MayFly configuration.
+const arTaskSource = `
+// Activity recognition task port: sample -> featurize -> classify -> send.
+#define WINDOW 8
+#define ROUNDS 30
+
+int accel[24];
+int fmean[3];
+int fstd[3];
+int activity;
+int lastact;
+int rounds_done;
+int r;
+
+int cm_still[3] = {0, 0, 1000};
+int cs_still[3] = {10, 10, 10};
+int cm_move[3]  = {0, 0, 1000};
+int cs_move[3]  = {230, 230, 230};
+
+int isqrt(int x) {
+    int rr = 0;
+    int b = 1073741824;
+    while (b > x) { b = b >> 2; }
+    while (b != 0) {
+        if (x >= rr + b) { x = x - (rr + b); rr = (rr >> 1) + b; }
+        else { rr = rr >> 1; }
+        b = b >> 2;
+    }
+    return rr;
+}
+
+int read_axis(int j) {
+    int a = j % 3;
+    if (a == 0) { return sense(0); }
+    if (a == 1) { return sense(1); }
+    return sense(2);
+}
+
+void t_sample() {
+    int j;
+    for (j = 0; j < 24; j++) {
+        accel[j] = read_axis(j);
+    }
+    mark(0);
+    transition_to(1);
+}
+
+void t_featurize() {
+    int a;
+    int i;
+    int sum;
+    int v;
+    int d;
+    for (a = 0; a < 3; a++) {
+        sum = 0;
+        for (i = 0; i < WINDOW; i++) { sum += accel[i * 3 + a]; }
+        fmean[a] = sum / WINDOW;
+        v = 0;
+        for (i = 0; i < WINDOW; i++) {
+            d = accel[i * 3 + a] - fmean[a];
+            v += d * d;
+        }
+        fstd[a] = isqrt(v / WINDOW);
+    }
+    mark(1);
+    transition_to(2);
+}
+
+int dist_still() {
+    int a;
+    int s = 0;
+    int d;
+    for (a = 0; a < 3; a++) {
+        d = fmean[a] - cm_still[a];
+        s += d * d;
+        d = fstd[a] - cs_still[a];
+        s += d * d;
+    }
+    return s;
+}
+
+int dist_move() {
+    int a;
+    int s = 0;
+    int d;
+    for (a = 0; a < 3; a++) {
+        d = fmean[a] - cm_move[a];
+        s += d * d;
+        d = fstd[a] - cs_move[a];
+        s += d * d;
+    }
+    return s;
+}
+
+void t_classify() {
+    if (dist_move() < dist_still()) { activity = 1; } else { activity = 0; }
+    mark(2);
+    transition_to(3);
+}
+
+void t_send() {
+    mark(3);
+    send(activity);
+    if (activity != lastact) {
+        lastact = activity;
+        send(1000 + activity);
+    }
+    r++;
+    rounds_done = r;
+    if (r < ROUNDS) { transition_to(0); }
+    out(0, rounds_done);
+    transition_to(99);
+}
+
+int main() { return 0; }
+`
+
+// AR returns the activity-recognition benchmark.
+func AR() App {
+	return App{
+		Name:         "ar",
+		Source:       arSource,
+		ManualSource: arManualSource,
+		TaskSource:   arTaskSource,
+		Tasks:        []string{"t_sample", "t_featurize", "t_classify", "t_send"},
+		Edges: []taskrt.Edge{
+			{From: 0, To: 1, ExpireMs: 200, OnExpired: 0}, // fresh window required
+			{From: 1, To: 2},
+			{From: 2, To: 3},
+			{From: 3, To: 0}, // activation restart
+		},
+		Marks: map[int]string{
+			0: "sample", 1: "featurize", 2: "classify", 3: "consume-fresh", 4: "discard-stale",
+		},
+	}
+}

@@ -1,0 +1,413 @@
+package apps
+
+import (
+	"strings"
+
+	"repro/internal/taskrt"
+)
+
+// bcRecursiveBody is the legacy recursive method inside bcSource; the
+// no-recursion variant swaps it for bcNoRecRewrite.
+const bcRecursiveBody = `int bc_rec(uint n) {
+    if (n == 0) { return 0; }
+    return (n & 1) + bc_rec(n >> 1);
+}`
+
+var bcNoRecSource = strings.Replace(bcSource, bcRecursiveBody, bcNoRecRewrite, 1)
+
+// bcSource is the legacy bitcount benchmark: seven counting methods —
+// iterated shift, Kernighan clears, nibble table, byte table, *recursion*,
+// SWAR, and a dense per-bit loop — over a pseudo-random input stream,
+// cross-verified against each other. The recursive method is the one that
+// Chinchilla-style static promotion cannot compile (§5.3.1).
+const bcSource = `
+// Bitcount (BC) - MiBench-style, seven methods, cross-verified.
+#define N 40
+
+uint seed = 12345;
+int counts[7];
+char nib[16] = {0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4};
+char bytetab[256];
+
+uint next_rand() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+uint rand32() {
+    uint hi = next_rand();
+    uint mid = next_rand();
+    uint lo = next_rand();
+    return (hi << 17) ^ (mid << 8) ^ lo;
+}
+
+int bc_iter(uint n) {
+    int c = 0;
+    while (n) { c = c + (n & 1); n = n >> 1; }
+    return c;
+}
+
+int bc_kern(uint n) {
+    int c = 0;
+    while (n) { n = n & (n - 1); c++; }
+    return c;
+}
+
+int bc_nib(uint n) {
+    int c = 0;
+    while (n) { c += nib[n & 15]; n = n >> 4; }
+    return c;
+}
+
+int bc_byte(uint n) {
+    return bytetab[n & 255] + bytetab[(n >> 8) & 255]
+         + bytetab[(n >> 16) & 255] + bytetab[(n >> 24) & 255];
+}
+
+int bc_rec(uint n) {
+    if (n == 0) { return 0; }
+    return (n & 1) + bc_rec(n >> 1);
+}
+
+int bc_swar(uint n) {
+    n = n - ((n >> 1) & 0x55555555);
+    n = (n & 0x33333333) + ((n >> 2) & 0x33333333);
+    n = (n + (n >> 4)) & 0x0F0F0F0F;
+    return (n * 0x01010101) >> 24;
+}
+
+int bc_dense(uint n) {
+    int c = 0;
+    int i;
+    for (i = 0; i < 32; i++) {
+        if ((n >> i) & 1) { c++; }
+    }
+    return c;
+}
+
+int main() {
+    int i;
+    int k;
+    int ok;
+    for (i = 1; i < 256; i++) { bytetab[i] = bytetab[i >> 1] + (i & 1); }
+    for (k = 0; k < N; k++) {
+        uint r = rand32();
+        counts[0] += bc_iter(r);  mark(0);
+        counts[1] += bc_kern(r);  mark(1);
+        counts[2] += bc_nib(r);   mark(2);
+        counts[3] += bc_byte(r);  mark(3);
+        counts[4] += bc_rec(r);   mark(4);
+        counts[5] += bc_swar(r);  mark(5);
+        counts[6] += bc_dense(r); mark(6);
+    }
+    ok = 1;
+    for (i = 1; i < 7; i++) {
+        if (counts[i] != counts[0]) { ok = 0; }
+    }
+    out(0, counts[0]);
+    out(1, ok);
+    return 0;
+}
+`
+
+// bcTaskSource is the hand port to the task model. Exactly as the paper
+// describes, porting costs expressiveness: the recursive method had to be
+// rewritten iteratively (task models reject recursion) and the work is
+// spread over restartable tasks communicating through globals.
+const bcTaskSource = `
+// Bitcount task port: init -> (sample -> count)*N -> verify.
+#define N 40
+
+uint seed = 12345;
+int counts[7];
+char nib[16] = {0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4};
+char bytetab[256];
+int k;
+int initk;
+uint cur;
+
+uint next_rand() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+uint rand32() {
+    uint hi = next_rand();
+    uint mid = next_rand();
+    uint lo = next_rand();
+    return (hi << 17) ^ (mid << 8) ^ lo;
+}
+
+int bc_iter(uint n) {
+    int c = 0;
+    while (n) { c = c + (n & 1); n = n >> 1; }
+    return c;
+}
+
+int bc_kern(uint n) {
+    int c = 0;
+    while (n) { n = n & (n - 1); c++; }
+    return c;
+}
+
+int bc_nib(uint n) {
+    int c = 0;
+    while (n) { c += nib[n & 15]; n = n >> 4; }
+    return c;
+}
+
+int bc_byte(uint n) {
+    return bytetab[n & 255] + bytetab[(n >> 8) & 255]
+         + bytetab[(n >> 16) & 255] + bytetab[(n >> 24) & 255];
+}
+
+// The recursive method of the legacy program, rewritten iteratively: task
+// runtimes reject recursion (static task memory).
+int bc_rec_ported(uint n) {
+    int c = 0;
+    while (n) { c = c + (n & 1); n = n >> 1; }
+    return c;
+}
+
+int bc_swar(uint n) {
+    n = n - ((n >> 1) & 0x55555555);
+    n = (n & 0x33333333) + ((n >> 2) & 0x33333333);
+    n = (n + (n >> 4)) & 0x0F0F0F0F;
+    return (n * 0x01010101) >> 24;
+}
+
+int bc_dense(uint n) {
+    int c = 0;
+    int i;
+    for (i = 0; i < 32; i++) {
+        if ((n >> i) & 1) { c++; }
+    }
+    return c;
+}
+
+// Building the byte table is too much work for one atomic task under
+// aggressive intermittency (its privatized writes would not fit a short
+// power window), so the port chunks it across self-transitions — the kind
+// of energy-driven re-decomposition the paper's Figure 2 complains about.
+void t_init() {
+    int i;
+    int end = initk + 64;
+    for (i = initk; i < end; i++) {
+        if (i > 0) { bytetab[i] = bytetab[i >> 1] + (i & 1); }
+    }
+    initk = end;
+    if (initk < 256) { transition_to(0); }
+    k = 0;
+    transition_to(1);
+}
+
+void t_sample() {
+    cur = rand32();
+    transition_to(2);
+}
+
+void t_count() {
+    counts[0] += bc_iter(cur);       mark(0);
+    counts[1] += bc_kern(cur);       mark(1);
+    counts[2] += bc_nib(cur);        mark(2);
+    counts[3] += bc_byte(cur);       mark(3);
+    counts[4] += bc_rec_ported(cur); mark(4);
+    counts[5] += bc_swar(cur);       mark(5);
+    counts[6] += bc_dense(cur);      mark(6);
+    k++;
+    if (k < N) { transition_to(1); }
+    transition_to(3);
+}
+
+void t_verify() {
+    int i;
+    int ok = 1;
+    for (i = 1; i < 7; i++) {
+        if (counts[i] != counts[0]) { ok = 0; }
+    }
+    out(0, counts[0]);
+    out(1, ok);
+    transition_to(99);
+}
+
+int main() { return 0; }
+`
+
+// bcMayflySource is the loop-free MayFly decomposition: the per-input loop
+// must move inside a single task because the MayFly task graph is a DAG.
+const bcMayflySource = `
+// Bitcount MayFly port: init -> work (whole loop inside) -> verify.
+#define N 40
+
+uint seed = 12345;
+int counts[7];
+char nib[16] = {0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4};
+char bytetab[256];
+
+uint next_rand() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+uint rand32() {
+    uint hi = next_rand();
+    uint mid = next_rand();
+    uint lo = next_rand();
+    return (hi << 17) ^ (mid << 8) ^ lo;
+}
+
+int bc_iter(uint n) {
+    int c = 0;
+    while (n) { c = c + (n & 1); n = n >> 1; }
+    return c;
+}
+
+int bc_kern(uint n) {
+    int c = 0;
+    while (n) { n = n & (n - 1); c++; }
+    return c;
+}
+
+int bc_nib(uint n) {
+    int c = 0;
+    while (n) { c += nib[n & 15]; n = n >> 4; }
+    return c;
+}
+
+int bc_byte(uint n) {
+    return bytetab[n & 255] + bytetab[(n >> 8) & 255]
+         + bytetab[(n >> 16) & 255] + bytetab[(n >> 24) & 255];
+}
+
+int bc_rec_ported(uint n) {
+    int c = 0;
+    while (n) { c = c + (n & 1); n = n >> 1; }
+    return c;
+}
+
+int bc_swar(uint n) {
+    n = n - ((n >> 1) & 0x55555555);
+    n = (n & 0x33333333) + ((n >> 2) & 0x33333333);
+    n = (n + (n >> 4)) & 0x0F0F0F0F;
+    return (n * 0x01010101) >> 24;
+}
+
+int bc_dense(uint n) {
+    int c = 0;
+    int i;
+    for (i = 0; i < 32; i++) {
+        if ((n >> i) & 1) { c++; }
+    }
+    return c;
+}
+
+void t_init() {
+    int i;
+    for (i = 1; i < 256; i++) { bytetab[i] = bytetab[i >> 1] + (i & 1); }
+    transition_to(1);
+}
+
+// The whole input loop lives in one task (the MayFly graph is a DAG), so
+// the port must accumulate in locals — including a local copy of the RNG
+// state — and commit the task-shared counters once: per-iteration
+// privatized writes would overflow the task's versioning buffer.
+void t_work() {
+    int k;
+    uint s = seed;
+    uint hi;
+    uint mid;
+    uint lo;
+    int c0 = 0;
+    int c1 = 0;
+    int c2 = 0;
+    int c3 = 0;
+    int c4 = 0;
+    int c5 = 0;
+    int c6 = 0;
+    for (k = 0; k < N; k++) {
+        uint r;
+        s = s * 1103515245 + 12345;
+        hi = (s >> 16) & 32767;
+        s = s * 1103515245 + 12345;
+        mid = (s >> 16) & 32767;
+        s = s * 1103515245 + 12345;
+        lo = (s >> 16) & 32767;
+        r = (hi << 17) ^ (mid << 8) ^ lo;
+        c0 += bc_iter(r);       mark(0);
+        c1 += bc_kern(r);       mark(1);
+        c2 += bc_nib(r);        mark(2);
+        c3 += bc_byte(r);       mark(3);
+        c4 += bc_rec_ported(r); mark(4);
+        c5 += bc_swar(r);       mark(5);
+        c6 += bc_dense(r);      mark(6);
+    }
+    counts[0] = c0;
+    counts[1] = c1;
+    counts[2] = c2;
+    counts[3] = c3;
+    counts[4] = c4;
+    counts[5] = c5;
+    counts[6] = c6;
+    transition_to(2);
+}
+
+void t_verify() {
+    int i;
+    int ok = 1;
+    for (i = 1; i < 7; i++) {
+        if (counts[i] != counts[0]) { ok = 0; }
+    }
+    out(0, counts[0]);
+    out(1, ok);
+    transition_to(99);
+}
+
+int main() { return 0; }
+`
+
+// BCNoRecursion returns the bitcount benchmark with the recursive method
+// rewritten iteratively — the modification the paper notes Chinchilla's
+// authors had to make by hand ("BC used for the evaluation of Chinchilla
+// was not the original, as the authors have manually removed the
+// recursion"). Results are identical; only expressibility differs.
+func BCNoRecursion() App {
+	app := BC()
+	app.Name = "bc-norec"
+	app.Source = bcNoRecSource
+	return app
+}
+
+const bcNoRecRewrite = `
+// Recursion manually removed for static-promotion runtimes.
+int bc_rec(uint n) {
+    int c = 0;
+    while (n) { c = c + (n & 1); n = n >> 1; }
+    return c;
+}
+`
+
+// BC returns the bitcount benchmark.
+func BC() App {
+	return App{
+		Name:       "bc",
+		Source:     bcSource,
+		TaskSource: bcTaskSource,
+		Tasks:      []string{"t_init", "t_sample", "t_count", "t_verify"},
+		Edges: []taskrt.Edge{
+			{From: 0, To: 1},
+			{From: 1, To: 2},
+			{From: 2, To: 1}, // per-input loop: a cycle MayFly rejects
+			{From: 2, To: 3},
+		},
+		MayflyTaskSource: bcMayflySource,
+		MayflyTasks:      []string{"t_init", "t_work", "t_verify"},
+		MayflyEdges: []taskrt.Edge{
+			{From: 0, To: 1},
+			{From: 1, To: 2},
+		},
+		Marks: map[int]string{
+			0: "iter", 1: "kernighan", 2: "nibble", 3: "bytetable",
+			4: "recursive", 5: "swar", 6: "dense",
+		},
+	}
+}

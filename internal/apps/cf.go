@@ -1,0 +1,308 @@
+package apps
+
+import "repro/internal/taskrt"
+
+// cfSource is the cuckoo-filter benchmark: insert a stream of pseudo-
+// random keys (with the eviction "kick" loop), then recover the sequence
+// via lookups, probe for false positives, delete half and recheck.
+const cfSource = `
+// Cuckoo filter (CF): insert / recover / probe / delete.
+#define NB 64
+#define NKEYS 80
+#define MAXKICK 64
+
+char buckets[256];
+uint cseed = 2654435761;
+
+uint crand() {
+    cseed = cseed * 1103515245 + 12345;
+    return (cseed >> 16) & 32767;
+}
+
+uint hash32(uint x) {
+    x = x ^ (x >> 16);
+    x = x * 73244219;
+    x = x ^ (x >> 16);
+    return x;
+}
+
+uint key_of(int k) { return hash32(k + 1000003); }
+
+int fp_of(uint x) {
+    int f = hash32(x) & 255;
+    if (f == 0) { f = 1; }
+    return f;
+}
+
+int b1_of(uint x) { return (hash32(x) >> 8) & 63; }
+
+int alt_of(int b, int f) { return (b ^ (hash32(f) & 63)) & 63; }
+
+int slot_insert(int b, int f) {
+    int s;
+    for (s = 0; s < 4; s++) {
+        if (buckets[b * 4 + s] == 0) {
+            buckets[b * 4 + s] = f;
+            return 1;
+        }
+    }
+    return 0;
+}
+
+int cf_insert(uint x) {
+    int f = fp_of(x);
+    int b = b1_of(x);
+    int i;
+    int s;
+    int tmp;
+    if (slot_insert(b, f)) { return 1; }
+    if (slot_insert(alt_of(b, f), f)) { return 1; }
+    b = alt_of(b, f);
+    for (i = 0; i < MAXKICK; i++) {
+        s = crand() & 3;
+        tmp = buckets[b * 4 + s];
+        buckets[b * 4 + s] = f;
+        f = tmp;
+        b = alt_of(b, f);
+        if (slot_insert(b, f)) { return 1; }
+    }
+    return 0;
+}
+
+int bucket_has(int b, int f) {
+    int s;
+    for (s = 0; s < 4; s++) {
+        if (buckets[b * 4 + s] == f) { return 1; }
+    }
+    return 0;
+}
+
+int cf_lookup(uint x) {
+    int f = fp_of(x);
+    int b = b1_of(x);
+    if (bucket_has(b, f)) { return 1; }
+    return bucket_has(alt_of(b, f), f);
+}
+
+int cf_delete(uint x) {
+    int f = fp_of(x);
+    int b = b1_of(x);
+    int s;
+    for (s = 0; s < 4; s++) {
+        if (buckets[b * 4 + s] == f) { buckets[b * 4 + s] = 0; return 1; }
+    }
+    b = alt_of(b, f);
+    for (s = 0; s < 4; s++) {
+        if (buckets[b * 4 + s] == f) { buckets[b * 4 + s] = 0; return 1; }
+    }
+    return 0;
+}
+
+int main() {
+    int k;
+    int inserted = 0;
+    int found = 0;
+    int fpos = 0;
+    int deleted = 0;
+    int found2 = 0;
+    for (k = 0; k < NKEYS; k++) {
+        inserted += cf_insert(key_of(k));
+        mark(0);
+    }
+    for (k = 0; k < NKEYS; k++) {
+        found += cf_lookup(key_of(k));
+        mark(1);
+    }
+    for (k = NKEYS; k < NKEYS * 2; k++) {
+        fpos += cf_lookup(key_of(k));
+    }
+    for (k = 0; k < NKEYS; k += 2) {
+        deleted += cf_delete(key_of(k));
+        mark(2);
+    }
+    for (k = 0; k < NKEYS; k++) {
+        found2 += cf_lookup(key_of(k));
+    }
+    out(0, inserted);
+    out(1, found);
+    out(2, fpos);
+    out(3, deleted);
+    out(4, found2);
+    return 0;
+}
+`
+
+// cfTaskSource is the task port. The eviction kick loop spans task
+// transitions (insert → insert), which makes the task graph cyclic — the
+// reason the paper notes "Cuckoo cannot be implemented in MayFly since
+// loops are not allowed in a MayFly task graph".
+const cfTaskSource = `
+// Cuckoo filter task port: insert* -> lookup -> probe -> delete -> recheck.
+#define NB 64
+#define NKEYS 80
+#define MAXKICK 64
+
+char buckets[256];
+uint cseed = 2654435761;
+int k;
+int inserted;
+int found;
+int fpos;
+int deleted;
+int found2;
+
+uint crand() {
+    cseed = cseed * 1103515245 + 12345;
+    return (cseed >> 16) & 32767;
+}
+
+uint hash32(uint x) {
+    x = x ^ (x >> 16);
+    x = x * 73244219;
+    x = x ^ (x >> 16);
+    return x;
+}
+
+uint key_of(int n) { return hash32(n + 1000003); }
+
+int fp_of(uint x) {
+    int f = hash32(x) & 255;
+    if (f == 0) { f = 1; }
+    return f;
+}
+
+int b1_of(uint x) { return (hash32(x) >> 8) & 63; }
+
+int alt_of(int b, int f) { return (b ^ (hash32(f) & 63)) & 63; }
+
+int slot_insert(int b, int f) {
+    int s;
+    for (s = 0; s < 4; s++) {
+        if (buckets[b * 4 + s] == 0) {
+            buckets[b * 4 + s] = f;
+            return 1;
+        }
+    }
+    return 0;
+}
+
+int cf_insert(uint x) {
+    int f = fp_of(x);
+    int b = b1_of(x);
+    int i;
+    int s;
+    int tmp;
+    if (slot_insert(b, f)) { return 1; }
+    if (slot_insert(alt_of(b, f), f)) { return 1; }
+    b = alt_of(b, f);
+    for (i = 0; i < MAXKICK; i++) {
+        s = crand() & 3;
+        tmp = buckets[b * 4 + s];
+        buckets[b * 4 + s] = f;
+        f = tmp;
+        b = alt_of(b, f);
+        if (slot_insert(b, f)) { return 1; }
+    }
+    return 0;
+}
+
+int bucket_has(int b, int f) {
+    int s;
+    for (s = 0; s < 4; s++) {
+        if (buckets[b * 4 + s] == f) { return 1; }
+    }
+    return 0;
+}
+
+int cf_lookup(uint x) {
+    int f = fp_of(x);
+    int b = b1_of(x);
+    if (bucket_has(b, f)) { return 1; }
+    return bucket_has(alt_of(b, f), f);
+}
+
+int cf_delete(uint x) {
+    int f = fp_of(x);
+    int b = b1_of(x);
+    int s;
+    for (s = 0; s < 4; s++) {
+        if (buckets[b * 4 + s] == f) { buckets[b * 4 + s] = 0; return 1; }
+    }
+    b = alt_of(b, f);
+    for (s = 0; s < 4; s++) {
+        if (buckets[b * 4 + s] == f) { buckets[b * 4 + s] = 0; return 1; }
+    }
+    return 0;
+}
+
+void t_insert() {
+    inserted += cf_insert(key_of(k));
+    mark(0);
+    k++;
+    if (k < NKEYS) { transition_to(0); }
+    k = 0;
+    transition_to(1);
+}
+
+void t_lookup() {
+    found += cf_lookup(key_of(k));
+    mark(1);
+    k++;
+    if (k < NKEYS) { transition_to(1); }
+    k = NKEYS;
+    transition_to(2);
+}
+
+void t_probe() {
+    fpos += cf_lookup(key_of(k));
+    k++;
+    if (k < NKEYS * 2) { transition_to(2); }
+    k = 0;
+    transition_to(3);
+}
+
+void t_delete() {
+    deleted += cf_delete(key_of(k));
+    mark(2);
+    k += 2;
+    if (k < NKEYS) { transition_to(3); }
+    k = 0;
+    transition_to(4);
+}
+
+void t_recheck() {
+    found2 += cf_lookup(key_of(k));
+    k++;
+    if (k < NKEYS) { transition_to(4); }
+    out(0, inserted);
+    out(1, found);
+    out(2, fpos);
+    out(3, deleted);
+    out(4, found2);
+    transition_to(99);
+}
+
+int main() { return 0; }
+`
+
+// CF returns the cuckoo-filter benchmark.
+func CF() App {
+	return App{
+		Name:       "cf",
+		Source:     cfSource,
+		TaskSource: cfTaskSource,
+		Tasks:      []string{"t_insert", "t_lookup", "t_probe", "t_delete", "t_recheck"},
+		Edges: []taskrt.Edge{
+			{From: 0, To: 0}, // insert self-loop (the kick stream) — cyclic
+			{From: 0, To: 1},
+			{From: 1, To: 1},
+			{From: 1, To: 2},
+			{From: 2, To: 2},
+			{From: 2, To: 3},
+			{From: 3, To: 3},
+			{From: 3, To: 4},
+			{From: 4, To: 4},
+		},
+		Marks: map[int]string{0: "insert", 1: "lookup", 2: "delete"},
+	}
+}

@@ -1,0 +1,168 @@
+package apps
+
+// ghmPlainSource is the greenhouse-monitoring application of Table 1 in
+// plain C: an infinite loop of sense-moisture, sense-temperature, compute
+// averages, send. The mark counters (one per routine) are the paper's
+// "how many times each GHM routine executed" measurement; a run is
+// consistent when the four counts stay in lock step.
+const ghmPlainSource = `
+// Greenhouse monitoring (GHM), plain C.
+#define NSAMP 8
+
+int moist[8];
+int temp[8];
+int avg_m;
+int avg_t;
+
+void sense_moist() {
+    int i;
+    for (i = 0; i < NSAMP; i++) { moist[i] = sense(3); }
+    mark(0);
+}
+
+void sense_temp() {
+    int i;
+    for (i = 0; i < NSAMP; i++) { temp[i] = sense(4); }
+    mark(1);
+}
+
+void compute() {
+    int i;
+    int sm = 0;
+    int st = 0;
+    for (i = 0; i < NSAMP; i++) { sm += moist[i]; st += temp[i]; }
+    avg_m = sm / NSAMP;
+    avg_t = st / NSAMP;
+    mark(2);
+}
+
+void send_data() {
+    send(avg_m);
+    send(avg_t);
+    mark(3);
+}
+
+int main() {
+    while (1) {
+        sense_moist();
+        sense_temp();
+        compute();
+        send_data();
+    }
+    return 0;
+}
+`
+
+// ghmTinyOSSource is the same application written the way two decades of
+// TinyOS/Contiki code is structured: a software event queue with posted
+// events driving split-phase handlers. TICS runs it unmodified; on plain
+// intermittent power the persistent queue indices and half-updated state
+// wedge the dispatch rhythm — the legacy-port failure the paper targets.
+const ghmTinyOSSource = `
+// Greenhouse monitoring (GHM), TinyOS-event style.
+#define NSAMP 8
+#define QMASK 15
+
+int q[16];
+int qh;
+int qt;
+int moist[8];
+int temp[8];
+int avg_m;
+int avg_t;
+
+void post(int e) {
+    q[qt & QMASK] = e;
+    qt++;
+}
+
+int pending() { return qt - qh; }
+
+int next_event() {
+    int e = q[qh & QMASK];
+    qh++;
+    return e;
+}
+
+void sense_moist() {
+    int i;
+    for (i = 0; i < NSAMP; i++) { moist[i] = sense(3); }
+    mark(0);
+}
+
+void sense_temp() {
+    int i;
+    for (i = 0; i < NSAMP; i++) { temp[i] = sense(4); }
+    mark(1);
+}
+
+void compute() {
+    int i;
+    int sm = 0;
+    int st = 0;
+    for (i = 0; i < NSAMP; i++) { sm += moist[i]; st += temp[i]; }
+    avg_m = sm / NSAMP;
+    avg_t = st / NSAMP;
+    mark(2);
+}
+
+void send_data() {
+    send(avg_m);
+    send(avg_t);
+    mark(3);
+}
+
+void dispatch(int e) {
+    switch (e) {
+    case 0:
+        sense_moist();
+        post(1);
+        break;
+    case 1:
+        sense_temp();
+        post(2);
+        break;
+    case 2:
+        compute();
+        post(3);
+        break;
+    default:
+        send_data();
+        post(0);
+        break;
+    }
+}
+
+int main() {
+    qh = 0;
+    qt = 0;
+    post(0);
+    while (1) {
+        if (pending() == 0) { post(0); }
+        dispatch(next_event());
+    }
+    return 0;
+}
+`
+
+// GHMPlain returns the plain-C greenhouse monitor.
+func GHMPlain() App {
+	return App{
+		Name:   "ghm",
+		Source: ghmPlainSource,
+		Marks:  ghmMarks(),
+	}
+}
+
+// GHMTinyOS returns the TinyOS-style greenhouse monitor.
+func GHMTinyOS() App {
+	return App{
+		Name:   "ghm-tinyos",
+		Source: ghmTinyOSSource,
+		Marks:  ghmMarks(),
+	}
+}
+
+func ghmMarks() map[int]string {
+	return map[int]string{0: "sense-moisture", 1: "sense-temperature", 2: "compute", 3: "send"}
+}

@@ -1,0 +1,102 @@
+package apps
+
+// The three user-study programs (Figure 10): variable swap, bubble sort,
+// and a timekeeping loop. The study showed each program to respondents in
+// a TICS version (plain C, possibly time-annotated) and an InK task
+// version, each seeded with one bug; internal/survey models the respondent
+// behaviour, and these sources anchor the program complexity the study
+// varied.
+
+const swapSource = `
+// Swap without a temporary (user-study program 1).
+int a = 3;
+int b = 40;
+
+void swap(int *x, int *y) {
+    *x = *x ^ *y;
+    *y = *x ^ *y;
+    *x = *x ^ *y;
+}
+
+int main() {
+    swap(&a, &b);
+    out(0, a);
+    out(1, b);
+    return 0;
+}
+`
+
+const bubbleSource = `
+// Bubble sort (user-study program 2).
+#define N 16
+
+int arr[16];
+uint bseed = 7;
+
+uint brand() {
+    bseed = bseed * 1103515245 + 12345;
+    return (bseed >> 16) & 1023;
+}
+
+void bubble(int *a, int n) {
+    int i;
+    int j;
+    int t;
+    for (i = 0; i < n - 1; i++) {
+        for (j = 0; j < n - 1 - i; j++) {
+            if (a[j] > a[j + 1]) {
+                t = a[j];
+                a[j] = a[j + 1];
+                a[j + 1] = t;
+            }
+        }
+    }
+}
+
+int main() {
+    int i;
+    int ok = 1;
+    for (i = 0; i < N; i++) { arr[i] = brand(); }
+    bubble(arr, N);
+    for (i = 1; i < N; i++) {
+        if (arr[i - 1] > arr[i]) { ok = 0; }
+    }
+    out(0, ok);
+    for (i = 0; i < N; i++) { out(1, arr[i]); }
+    return 0;
+}
+`
+
+const timekeepingSource = `
+// Timekeeping loop (user-study program 3): consume only fresh readings.
+#define ROUNDS 10
+
+@expires_after=500 int reading;
+
+int main() {
+    int i;
+    int fresh = 0;
+    int stale = 0;
+    for (i = 0; i < ROUNDS; i++) {
+        reading @= sense(4);
+        @expires(reading) {
+            send(reading);
+            fresh++;
+        } catch {
+            stale++;
+        }
+    }
+    out(0, fresh);
+    out(1, stale);
+    return 0;
+}
+`
+
+// Swap returns the pointer-swap user-study program.
+func Swap() App { return App{Name: "swap", Source: swapSource} }
+
+// Bubble returns the bubble-sort user-study program.
+func Bubble() App { return App{Name: "bubble", Source: bubbleSource} }
+
+// Timekeeping returns the freshness-loop user-study program.
+func Timekeeping() App { return App{Name: "timekeeping", Source: timekeepingSource} }

@@ -1,0 +1,313 @@
+// Package chinchilla implements the Chinchilla-style checkpointing
+// baseline (§5.3.1): every local variable and parameter is promoted to a
+// statically allocated global in non-volatile memory at compile time
+// (cc.Options.StaticLocals — which is why recursion does not compile),
+// every store to promoted or global data is logged into a static
+// double-buffer log, and the program is over-instrumented with trigger
+// checkpoints that a skip heuristic dynamically disables when the last
+// checkpoint is recent.
+//
+// The static promotion is also the source of Chinchilla's memory blow-up
+// in Table 3: the globals space carries every function's frame whether or
+// not it is live, and the runtime double-buffers it all.
+package chinchilla
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/link"
+	"repro/internal/vm"
+)
+
+// Config tunes the runtime.
+type Config struct {
+	// UndoCapBytes sizes the static write log (default 4096).
+	UndoCapBytes int
+	// MinGapCycles is the skip heuristic: trigger checkpoints are skipped
+	// while the last checkpoint is more recent than this (default 4000).
+	MinGapCycles int64
+	// StackBytes sizes the (small) machine stack (default 1024: with
+	// promoted locals the stack only holds return PCs and temporaries).
+	StackBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.UndoCapBytes == 0 {
+		c.UndoCapBytes = 4096
+	}
+	if c.MinGapCycles == 0 {
+		c.MinGapCycles = 4000
+	}
+	if c.StackBytes == 0 {
+		c.StackBytes = 1024
+	}
+	return c
+}
+
+// Modeled runtime footprint: Chinchilla's instrumentation-heavy runtime is
+// roughly twice the TICS library (Table 3).
+const (
+	runtimeTextBytes = 5600
+	runtimeDataBytes = 512
+)
+
+const (
+	initMagic   = 0x4348494E // "CHIN"
+	slotMetaLen = 6 * 4
+	undoEntry   = 12
+)
+
+// Spec returns the linker spec. The modeled .data footprint carries the
+// local-to-global explosion the paper describes: the promoted globals
+// space is double-buffered wholesale, a swap buffer backs the two-phase
+// commit, and every promoted variable needs dirty-tracking metadata —
+// roughly 3.5× the (already inflated) globals space on top of the image.
+func Spec(cfg Config, prog *cc.Program) link.RuntimeSpec {
+	cfg = cfg.withDefaults()
+	return link.RuntimeSpec{
+		Name:           "chinchilla",
+		RuntimeBytes:   16 + 2*(slotMetaLen+cfg.StackBytes) + cfg.UndoCapBytes,
+		StackBytes:     cfg.StackBytes,
+		ExtraTextBytes: runtimeTextBytes,
+		ExtraDataBytes: runtimeDataBytes + 7*int(prog.GlobalsBytes())/2,
+	}
+}
+
+// Chinchilla is the runtime.
+type Chinchilla struct {
+	cfg Config
+	img *link.Image
+
+	undoCap  int
+	stackLen int
+
+	addrMagic   uint32
+	addrActive  uint32
+	addrUndoHdr uint32
+	addrSlot    [2]uint32
+	addrUndo    uint32
+
+	active  int
+	epoch   uint32
+	undoLen int
+	stats   map[string]int64
+}
+
+// New builds the runtime for an image linked with Spec. The image must
+// have been compiled with cc.Options.StaticLocals.
+func New(img *link.Image, cfg Config) (*Chinchilla, error) {
+	cfg = cfg.withDefaults()
+	if !img.Program.StaticLocals {
+		return nil, fmt.Errorf("chinchilla: image was not compiled with static locals")
+	}
+	c := &Chinchilla{
+		cfg:      cfg,
+		img:      img,
+		undoCap:  cfg.UndoCapBytes / undoEntry,
+		stackLen: int(img.StackLen),
+		stats:    map[string]int64{},
+	}
+	a := img.RuntimeBase
+	c.addrMagic = a
+	c.addrActive = a + 4
+	c.addrUndoHdr = a + 8
+	a += 16
+	c.addrSlot[0] = a
+	a += uint32(slotMetaLen + c.stackLen)
+	c.addrSlot[1] = a
+	a += uint32(slotMetaLen + c.stackLen)
+	c.addrUndo = a
+	a += uint32(c.undoCap * undoEntry)
+	if a > img.RuntimeBase+img.RuntimeLen {
+		return nil, fmt.Errorf("chinchilla: runtime area too small: need %d B, have %d B",
+			a-img.RuntimeBase, img.RuntimeLen)
+	}
+	return c, nil
+}
+
+// Name implements vm.Runtime.
+func (c *Chinchilla) Name() string { return "chinchilla" }
+
+// Stats implements vm.Runtime.
+func (c *Chinchilla) Stats() map[string]int64 { return c.stats }
+
+// Boot implements vm.Runtime.
+func (c *Chinchilla) Boot(m *vm.Machine, cold bool) error {
+	if cold || m.Mem.ReadWord(c.addrMagic) != initMagic {
+		m.Spend(m.Cost.RestoreBase)
+		m.Mem.WriteWord(c.addrActive, 0)
+		m.Mem.WriteWord(c.addrUndoHdr, 0)
+		c.active, c.epoch, c.undoLen = 0, 0, 0
+		m.Regs = vm.Registers{
+			PC: c.img.EntryPC,
+			SP: c.img.StackBase + c.img.StackLen,
+			FP: c.img.StackBase + c.img.StackLen,
+		}
+		if err := c.Checkpoint(m, vm.CpTimer); err != nil { // bypass the gap gate
+			return err
+		}
+		m.Spend(m.Cost.NVWritePerWord)
+		m.Mem.WriteWord(c.addrMagic, initMagic)
+		return nil
+	}
+	return c.restore(m)
+}
+
+func (c *Chinchilla) restore(m *vm.Machine) error {
+	m.Spend(m.Cost.RestoreBase)
+	c.active = int(m.Mem.ReadWord(c.addrActive) & 1)
+	slot := c.addrSlot[c.active]
+	slotEpoch := m.Mem.ReadWord(slot + 20)
+	hdr := m.Mem.ReadWord(c.addrUndoHdr)
+	if hdr>>16 == slotEpoch&0xFFFF {
+		n := int(hdr & 0xFFFF)
+		for i := n - 1; i >= 0; i-- {
+			m.Spend(m.Cost.UndoRollback)
+			e := c.addrUndo + uint32(i*undoEntry)
+			addr := m.Mem.ReadWord(e)
+			size := int(m.Mem.ReadWord(e + 4))
+			old := m.Mem.ReadWord(e + 8)
+			if size == 1 {
+				m.Mem.WriteByteAt(addr, byte(old))
+			} else {
+				m.Mem.WriteWord(addr, old)
+			}
+			c.stats["undo-rollbacks"]++
+		}
+	}
+	m.Spend(m.Cost.NVWritePerWord)
+	m.Mem.WriteWord(c.addrUndoHdr, (slotEpoch&0xFFFF)<<16)
+	c.epoch = slotEpoch
+	c.undoLen = 0
+
+	sp := m.Mem.ReadWord(slot + 4)
+	used := int(c.img.StackBase + c.img.StackLen - sp)
+	for w := 0; w < (used+3)/4; w++ {
+		m.Spend(m.Cost.NVReadPerWord + m.Cost.NVWritePerWord)
+		m.Mem.WriteWord(sp+uint32(4*w), m.Mem.ReadWord(slot+uint32(slotMetaLen+4*w)))
+	}
+	m.Regs = vm.Registers{
+		PC: m.Mem.ReadWord(slot + 0),
+		SP: sp,
+		FP: m.Mem.ReadWord(slot + 8),
+		RV: m.Mem.ReadWord(slot + 12),
+	}
+	m.CpDisable = int(m.Mem.ReadWord(slot + 16))
+	m.NoteRestore()
+	c.stats["restores"]++
+	return nil
+}
+
+// Checkpoint implements vm.Runtime: registers plus the (small) used stack,
+// double-buffered; trigger checkpoints respect the skip heuristic.
+func (c *Chinchilla) Checkpoint(m *vm.Machine, kind vm.CpKind) error {
+	if kind == vm.CpManual && m.SinceCheckpoint() < c.cfg.MinGapCycles {
+		c.stats["skipped-triggers"]++
+		return nil
+	}
+	m.Spend(m.Cost.CheckpointBase)
+	target := 1 - c.active
+	slot := c.addrSlot[target]
+	newEpoch := c.epoch + 1
+	m.Spend(6 * m.Cost.NVWritePerWord)
+	m.Mem.WriteWord(slot+0, m.Regs.PC)
+	m.Mem.WriteWord(slot+4, m.Regs.SP)
+	m.Mem.WriteWord(slot+8, m.Regs.FP)
+	m.Mem.WriteWord(slot+12, m.Regs.RV)
+	m.Mem.WriteWord(slot+16, uint32(m.CpDisable))
+	m.Mem.WriteWord(slot+20, newEpoch)
+	used := int(c.img.StackBase + c.img.StackLen - m.Regs.SP)
+	for w := 0; w < (used+3)/4; w++ {
+		m.Spend(2 * (m.Cost.NVReadPerWord + m.Cost.NVWritePerWord))
+		m.Mem.WriteWord(slot+uint32(slotMetaLen+4*w), m.Mem.ReadWord(m.Regs.SP+uint32(4*w)))
+	}
+	m.Spend(m.Cost.NVWritePerWord)
+	m.Mem.WriteWord(c.addrActive, uint32(target))
+	c.active = target
+	m.Spend(m.Cost.NVWritePerWord)
+	m.Mem.WriteWord(c.addrUndoHdr, (newEpoch&0xFFFF)<<16)
+	c.epoch = newEpoch
+	c.undoLen = 0
+	m.NoteCheckpoint(kind)
+	c.stats["checkpoints"]++
+	return nil
+}
+
+// PreStore implements vm.Runtime: force a checkpoint before the store when
+// the log is full.
+func (c *Chinchilla) PreStore(m *vm.Machine) error {
+	if c.undoLen < c.undoCap {
+		return nil
+	}
+	c.stats["forced-checkpoints"]++
+	return c.Checkpoint(m, vm.CpTimer) // bypass the gap gate
+}
+
+// LoggedStore implements vm.Runtime: every instrumented store is logged —
+// Chinchilla has no working-stack fast path, which is why its per-store
+// overhead exceeds TICS's on stack-local traffic.
+func (c *Chinchilla) LoggedStore(m *vm.Machine, addr uint32, size int, value uint32) error {
+	if c.undoLen >= c.undoCap {
+		m.Fault("chinchilla: write log overflow")
+	}
+	m.Spend(m.Cost.UndoLogEntry)
+	var old uint32
+	if size == 1 {
+		old = uint32(m.Mem.ReadByteAt(addr))
+	} else {
+		old = m.Mem.ReadWord(addr)
+	}
+	e := c.addrUndo + uint32(c.undoLen*undoEntry)
+	m.Mem.WriteWord(e, addr)
+	m.Mem.WriteWord(e+4, uint32(size))
+	m.Mem.WriteWord(e+8, old)
+	c.undoLen++
+	m.Mem.WriteWord(c.addrUndoHdr, (c.epoch&0xFFFF)<<16|uint32(c.undoLen))
+	m.RawStore(addr, size, value)
+	c.stats["stores-logged"]++
+	return nil
+}
+
+// Enter implements vm.Runtime: with promoted locals the frame is tiny.
+func (c *Chinchilla) Enter(m *vm.Machine, fn int) error {
+	meta, err := m.Img.FuncAt(fn)
+	if err != nil {
+		return err
+	}
+	if m.Regs.SP < m.Img.StackBase+uint32(meta.FrameBytes) {
+		m.Fault("stack overflow entering %s", meta.Name)
+	}
+	m.Push(m.Regs.FP)
+	m.Regs.FP = m.Regs.SP
+	return nil
+}
+
+// Leave implements vm.Runtime.
+func (c *Chinchilla) Leave(m *vm.Machine) error {
+	m.Regs.SP = m.Regs.FP
+	m.Regs.FP = m.Pop()
+	m.Regs.PC = m.Pop()
+	return nil
+}
+
+// OnExpiry implements vm.Runtime as a no-op: Chinchilla has no time
+// semantics (Table 5); mid-block expirations go unhandled.
+func (c *Chinchilla) OnExpiry(m *vm.Machine) error { return nil }
+
+// OnInterrupt implements vm.Runtime: a plain call-like transfer.
+func (c *Chinchilla) OnInterrupt(m *vm.Machine, isrEntry uint32) error {
+	m.Push(m.Regs.PC)
+	m.Regs.PC = isrEntry
+	return nil
+}
+
+// OnInterruptReturn implements vm.Runtime as a no-op: only TICS gives
+// ISRs exactly-once commit semantics (paper §4).
+func (c *Chinchilla) OnInterruptReturn(m *vm.Machine) error { return nil }
+
+// Transition implements vm.Runtime.
+func (c *Chinchilla) Transition(m *vm.Machine, task int32) error {
+	m.Fault("transition_to(%d): chinchilla is not a task runtime", task)
+	return nil
+}

@@ -1,0 +1,409 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies a TICS-C type.
+type TypeKind int
+
+const (
+	TVoid TypeKind = iota
+	TInt           // 32-bit signed
+	TUint          // 32-bit unsigned
+	TChar          // 8-bit unsigned
+	TPtr
+	TArray
+)
+
+// Type is a TICS-C type. Types are interned by value via constructors.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // pointee / element type
+	Len  int   // array length
+}
+
+var (
+	typeVoid = &Type{Kind: TVoid}
+	typeInt  = &Type{Kind: TInt}
+	typeUint = &Type{Kind: TUint}
+	typeChar = &Type{Kind: TChar}
+)
+
+// VoidType, IntType, UintType and CharType return the basic types.
+func VoidType() *Type { return typeVoid }
+func IntType() *Type  { return typeInt }
+func UintType() *Type { return typeUint }
+func CharType() *Type { return typeChar }
+
+// PtrTo returns a pointer type.
+func PtrTo(elem *Type) *Type { return &Type{Kind: TPtr, Elem: elem} }
+
+// ArrayOf returns an array type.
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: TArray, Elem: elem, Len: n} }
+
+// Size returns the storage size of the type in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TVoid:
+		return 0
+	case TChar:
+		return 1
+	case TInt, TUint, TPtr:
+		return 4
+	case TArray:
+		return t.Elem.Size() * t.Len
+	}
+	panic(fmt.Sprintf("cc: size of unknown type kind %d", t.Kind))
+}
+
+// IsScalar reports whether the type fits a machine word.
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case TInt, TUint, TChar, TPtr:
+		return true
+	}
+	return false
+}
+
+// IsInteger reports whether the type is an integer type.
+func (t *Type) IsInteger() bool {
+	return t.Kind == TInt || t.Kind == TUint || t.Kind == TChar
+}
+
+// IsUnsigned reports whether comparisons on the type are unsigned.
+func (t *Type) IsUnsigned() bool {
+	return t.Kind == TUint || t.Kind == TChar || t.Kind == TPtr
+}
+
+// Decay returns the pointer type an array decays to, or the type itself.
+func (t *Type) Decay() *Type {
+	if t.Kind == TArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TUint:
+		return "uint"
+	case TChar:
+		return "char"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	}
+	return "?"
+}
+
+// Same reports structural type equality.
+func (t *Type) Same(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TPtr:
+		return t.Elem.Same(o.Elem)
+	case TArray:
+		return t.Len == o.Len && t.Elem.Same(o.Elem)
+	}
+	return true
+}
+
+// ---- Expressions ----
+
+// Expr is a TICS-C expression node. Type() returns the type assigned by
+// semantic analysis (nil before Analyze runs).
+type Expr interface {
+	Pos() Pos
+	Type() *Type
+	setType(*Type)
+	exprNode()
+	String() string
+}
+
+type exprBase struct {
+	P Pos
+	T *Type
+}
+
+func (b *exprBase) Pos() Pos        { return b.P }
+func (b *exprBase) Type() *Type     { return b.T }
+func (b *exprBase) setType(t *Type) { b.T = t }
+func (*exprBase) exprNode()         {}
+
+// NumLit is an integer literal.
+type NumLit struct {
+	exprBase
+	Val int64
+}
+
+func (n *NumLit) String() string { return fmt.Sprintf("%d", n.Val) }
+
+// VarRef refers to a local, parameter or global by name.
+type VarRef struct {
+	exprBase
+	Name string
+	// Resolved by sema:
+	Sym *Symbol
+}
+
+func (v *VarRef) String() string { return v.Name }
+
+// Unary is -x, ~x, !x, *x, &x.
+type Unary struct {
+	exprBase
+	Op Kind // Minus, Tilde, Bang, Star, Amp
+	X  Expr
+}
+
+func (u *Unary) String() string { return fmt.Sprintf("(%s%s)", u.Op, u.X) }
+
+// Binary is a binary operation (arithmetic, comparison, logic).
+type Binary struct {
+	exprBase
+	Op   Kind
+	L, R Expr
+}
+
+func (b *Binary) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// Index is a[i].
+type Index struct {
+	exprBase
+	Base Expr
+	Idx  Expr
+}
+
+func (ix *Index) String() string { return fmt.Sprintf("%s[%s]", ix.Base, ix.Idx) }
+
+// Call is f(args...). Builtins are resolved by sema.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	// Resolved by sema:
+	Fn      *FuncDecl
+	Builtin Builtin
+}
+
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(parts, ", "))
+}
+
+// Assign is lhs = rhs, lhs += rhs, lhs -= rhs, or the TICS atomic lhs @= rhs.
+type AssignExpr struct {
+	exprBase
+	Op   Kind // Assign, PlusAssign, MinusAssign, AtAssign
+	L, R Expr
+}
+
+func (a *AssignExpr) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+// IncDec is x++ / x-- / ++x / --x.
+type IncDec struct {
+	exprBase
+	Op     Kind // PlusPlus or MinusMinus
+	X      Expr
+	Prefix bool
+}
+
+func (i *IncDec) String() string {
+	if i.Prefix {
+		return fmt.Sprintf("(%s%s)", i.Op, i.X)
+	}
+	return fmt.Sprintf("(%s%s)", i.X, i.Op)
+}
+
+// Cond is c ? a : b.
+type Cond struct {
+	exprBase
+	C, T, F Expr
+}
+
+func (c *Cond) String() string { return fmt.Sprintf("(%s ? %s : %s)", c.C, c.T, c.F) }
+
+// ---- Statements ----
+
+// Stmt is a TICS-C statement node.
+type Stmt interface {
+	Pos() Pos
+	stmtNode()
+}
+
+type stmtBase struct{ P Pos }
+
+func (b stmtBase) Pos() Pos { return b.P }
+func (stmtBase) stmtNode()  {}
+
+// Block is { ... }.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// LocalDecl declares a local variable, optionally initialized.
+type LocalDecl struct {
+	stmtBase
+	Name string
+	Type *Type
+	Init Expr // nil if none
+	// Resolved by sema:
+	Sym *Symbol
+}
+
+// If is if/else.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil if none
+}
+
+// While is a while loop.
+type While struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// For is a C for loop; any of Init/Cond/Post may be nil.
+type For struct {
+	stmtBase
+	Init Expr
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// CaseGroup is one arm of a switch: its constant labels (empty for
+// default) and the statements up to the next label. C semantics:
+// execution falls through into the next group unless it breaks.
+type CaseGroup struct {
+	Vals      []int64
+	IsDefault bool
+	Stmts     []Stmt
+}
+
+// Switch is a C switch with fallthrough.
+type Switch struct {
+	stmtBase
+	Cond   Expr
+	Groups []CaseGroup
+	// TempOff is the FP offset of the compiler temporary holding the
+	// switch value (assigned by sema).
+	TempOff int32
+}
+
+// DoWhile is do { body } while (cond);
+type DoWhile struct {
+	stmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// Return is a return statement; X is nil for void returns.
+type Return struct {
+	stmtBase
+	X Expr
+}
+
+// Break and Continue are loop control.
+type Break struct{ stmtBase }
+type Continue struct{ stmtBase }
+
+// ExpiresStmt is @expires(lv) { body } [catch { handler }].
+type ExpiresStmt struct {
+	stmtBase
+	LV    Expr // the time-annotated lvalue being consumed
+	Body  *Block
+	Catch *Block // nil for the if-statement-only form
+}
+
+// TimelyStmt is @timely(deadline) { body } [else { alt }]. The deadline
+// expression evaluates to an absolute time in milliseconds.
+type TimelyStmt struct {
+	stmtBase
+	Deadline Expr
+	Body     *Block
+	Else     *Block
+}
+
+// ---- Declarations ----
+
+// GlobalDecl declares a global variable.
+type GlobalDecl struct {
+	P              Pos
+	Name           string
+	Type           *Type
+	Init           []int64 // constant initializer values (scalar: one entry)
+	ExpiresAfterMs int64   // -1 when not time-annotated
+	// Resolved by sema:
+	Sym *Symbol
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+	Sym  *Symbol
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	P      Pos
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *Block
+	// Filled by sema:
+	Index      int  // function table index
+	LocalBytes int  // frame bytes for locals
+	Recursive  bool // participates in a call-graph cycle
+	Calls      map[string]bool
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// Builtin identifies a compiler builtin function.
+type Builtin int
+
+const (
+	NotBuiltin    Builtin = iota
+	BSense                // int sense(int sensor)
+	BSend                 // void send(int v)
+	BOut                  // void out(int channel, int v)
+	BMark                 // void mark(int id)
+	BNow                  // int now(void)
+	BCheckpoint           // void checkpoint(void)
+	BTransitionTo         // void transition_to(int task)
+)
+
+var builtins = map[string]Builtin{
+	"sense": BSense, "send": BSend, "out": BOut, "mark": BMark,
+	"now": BNow, "checkpoint": BCheckpoint, "transition_to": BTransitionTo,
+}

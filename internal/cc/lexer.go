@@ -1,0 +1,352 @@
+package cc
+
+import "strconv"
+
+var keywords = map[string]Kind{
+	"int": KwInt, "uint": KwUint, "unsigned": KwUint, "char": KwChar, "void": KwVoid,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue, "catch": KwCatch,
+	"switch": KwSwitch, "case": KwCase, "default": KwDefault, "do": KwDo,
+}
+
+// lexer tokenizes TICS-C source. It also implements the one preprocessor
+// feature legacy embedded code leans on constantly: `#define NAME <integer>`
+// object-like macros with integer (optionally time-suffixed) values.
+type lexer struct {
+	src     string
+	off     int
+	line    int
+	col     int
+	defines map[string]int64
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1, defines: map[string]int64{}}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) peekByteAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+func isHexit(c byte) bool { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case isSpace(c):
+			lx.advance()
+		case c == '/' && lx.peekByteAt(1) == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByteAt(1) == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		case c == '#':
+			if err := lx.directive(); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// directive handles `#define NAME value`.
+func (lx *lexer) directive() error {
+	start := lx.pos()
+	lx.advance() // '#'
+	word := lx.ident()
+	if word != "define" {
+		return errf(start, "unsupported preprocessor directive #%s (only #define NAME <integer> is supported)", word)
+	}
+	for lx.peekByte() == ' ' || lx.peekByte() == '\t' {
+		lx.advance()
+	}
+	name := lx.ident()
+	if name == "" {
+		return errf(start, "#define needs a name")
+	}
+	for lx.peekByte() == ' ' || lx.peekByte() == '\t' {
+		lx.advance()
+	}
+	neg := false
+	if lx.peekByte() == '-' {
+		neg = true
+		lx.advance()
+	}
+	if !isDigit(lx.peekByte()) {
+		return errf(lx.pos(), "#define %s: value must be an integer literal", name)
+	}
+	val, err := lx.number()
+	if err != nil {
+		return err
+	}
+	if neg {
+		val = -val
+	}
+	lx.defines[name] = val
+	return nil
+}
+
+func (lx *lexer) ident() string {
+	start := lx.off
+	for lx.off < len(lx.src) && isAlnum(lx.peekByte()) {
+		lx.advance()
+	}
+	return lx.src[start:lx.off]
+}
+
+// number lexes an integer literal, applying the ms/s time suffixes.
+func (lx *lexer) number() (int64, error) {
+	pos := lx.pos()
+	start := lx.off
+	if lx.peekByte() == '0' && (lx.peekByteAt(1) == 'x' || lx.peekByteAt(1) == 'X') {
+		lx.advance()
+		lx.advance()
+		for isHexit(lx.peekByte()) {
+			lx.advance()
+		}
+		v, err := strconv.ParseInt(lx.src[start+2:lx.off], 16, 64)
+		if err != nil {
+			return 0, errf(pos, "bad hex literal %q", lx.src[start:lx.off])
+		}
+		return v, nil
+	}
+	for isDigit(lx.peekByte()) {
+		lx.advance()
+	}
+	v, err := strconv.ParseInt(lx.src[start:lx.off], 10, 64)
+	if err != nil {
+		return 0, errf(pos, "bad integer literal %q", lx.src[start:lx.off])
+	}
+	// Time suffixes: 200ms, 5s.
+	if lx.peekByte() == 'm' && lx.peekByteAt(1) == 's' && !isAlnum(lx.peekByteAt(2)) {
+		lx.advance()
+		lx.advance()
+		return v, nil // already milliseconds
+	}
+	if lx.peekByte() == 's' && !isAlnum(lx.peekByteAt(1)) {
+		lx.advance()
+		return v * 1000, nil
+	}
+	return v, nil
+}
+
+// Next returns the next token.
+func (lx *lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isDigit(c):
+		v, err := lx.number()
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: Number, Val: v, Pos: pos}, nil
+	case isAlpha(c):
+		word := lx.ident()
+		if kw, ok := keywords[word]; ok {
+			return Token{Kind: kw, Pos: pos}, nil
+		}
+		if v, ok := lx.defines[word]; ok {
+			return Token{Kind: Number, Val: v, Pos: pos, Text: word}, nil
+		}
+		return Token{Kind: Ident, Text: word, Pos: pos}, nil
+	case c == '\'':
+		lx.advance()
+		if lx.off >= len(lx.src) {
+			return Token{}, errf(pos, "unterminated character literal")
+		}
+		ch := lx.advance()
+		if ch == '\\' {
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				ch = '\n'
+			case 't':
+				ch = '\t'
+			case '0':
+				ch = 0
+			case '\\':
+				ch = '\\'
+			case '\'':
+				ch = '\''
+			default:
+				return Token{}, errf(pos, "unsupported escape '\\%c'", esc)
+			}
+		}
+		if lx.peekByte() != '\'' {
+			return Token{}, errf(pos, "unterminated character literal")
+		}
+		lx.advance()
+		return Token{Kind: Number, Val: int64(ch), Pos: pos}, nil
+	case c == '@':
+		lx.advance()
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return Token{Kind: AtAssign, Pos: pos}, nil
+		}
+		word := lx.ident()
+		switch word {
+		case "expires_after":
+			return Token{Kind: AtExpiresAfter, Pos: pos}, nil
+		case "expires":
+			return Token{Kind: AtExpires, Pos: pos}, nil
+		case "timely":
+			return Token{Kind: AtTimely, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unknown annotation @%s", word)
+	}
+	lx.advance()
+	two := func(next byte, k2, k1 Kind) (Token, error) {
+		if lx.peekByte() == next {
+			lx.advance()
+			return Token{Kind: k2, Pos: pos}, nil
+		}
+		return Token{Kind: k1, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBrack, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBrack, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semi, Pos: pos}, nil
+	case '?':
+		return Token{Kind: Question, Pos: pos}, nil
+	case ':':
+		return Token{Kind: Colon, Pos: pos}, nil
+	case '~':
+		return Token{Kind: Tilde, Pos: pos}, nil
+	case '^':
+		return two('=', CaretAssign, Caret)
+	case '%':
+		return Token{Kind: Percent, Pos: pos}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: pos}, nil
+	case '*':
+		return two('=', StarAssign, Star)
+	case '=':
+		return two('=', EqEq, Assign)
+	case '!':
+		return two('=', NotEq, Bang)
+	case '+':
+		if lx.peekByte() == '+' {
+			lx.advance()
+			return Token{Kind: PlusPlus, Pos: pos}, nil
+		}
+		return two('=', PlusAssign, Plus)
+	case '-':
+		if lx.peekByte() == '-' {
+			lx.advance()
+			return Token{Kind: MinusMinus, Pos: pos}, nil
+		}
+		return two('=', MinusAssign, Minus)
+	case '&':
+		if lx.peekByte() == '&' {
+			lx.advance()
+			return Token{Kind: AndAnd, Pos: pos}, nil
+		}
+		return two('=', AmpAssign, Amp)
+	case '|':
+		if lx.peekByte() == '|' {
+			lx.advance()
+			return Token{Kind: OrOr, Pos: pos}, nil
+		}
+		return two('=', PipeAssign, Pipe)
+	case '<':
+		if lx.peekByte() == '<' {
+			lx.advance()
+			return two('=', ShlAssign, Shl)
+		}
+		return two('=', Le, Lt)
+	case '>':
+		if lx.peekByte() == '>' {
+			lx.advance()
+			return two('=', ShrAssign, Shr)
+		}
+		return two('=', Ge, Gt)
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(rune(c)))
+}
+
+// lexAll tokenizes the whole source (used by the parser, which wants
+// lookahead over a slice).
+func lexAll(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+// Tokenize exposes the lexer for tests and tooling.
+func Tokenize(src string) ([]Token, error) { return lexAll(src) }

@@ -1,0 +1,424 @@
+package cc
+
+import "repro/internal/isa"
+
+// ---- AST constant folding (O2) ----
+
+// foldFile folds constant subexpressions in every function body. It runs
+// after semantic analysis so folded nodes inherit the checked types.
+func foldFile(f *File) {
+	for _, fn := range f.Funcs {
+		foldStmt(fn.Body)
+	}
+}
+
+func foldStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		for _, sub := range st.Stmts {
+			foldStmt(sub)
+		}
+	case *ExprStmt:
+		st.X = foldExpr(st.X)
+	case *LocalDecl:
+		if st.Init != nil {
+			st.Init = foldExpr(st.Init)
+		}
+	case *If:
+		st.Cond = foldExpr(st.Cond)
+		foldStmt(st.Then)
+		if st.Else != nil {
+			foldStmt(st.Else)
+		}
+	case *While:
+		st.Cond = foldExpr(st.Cond)
+		foldStmt(st.Body)
+	case *For:
+		if st.Init != nil {
+			st.Init = foldExpr(st.Init)
+		}
+		if st.Cond != nil {
+			st.Cond = foldExpr(st.Cond)
+		}
+		if st.Post != nil {
+			st.Post = foldExpr(st.Post)
+		}
+		foldStmt(st.Body)
+	case *DoWhile:
+		foldStmt(st.Body)
+		st.Cond = foldExpr(st.Cond)
+	case *Switch:
+		st.Cond = foldExpr(st.Cond)
+		for gi := range st.Groups {
+			for _, sub := range st.Groups[gi].Stmts {
+				foldStmt(sub)
+			}
+		}
+	case *Return:
+		if st.X != nil {
+			st.X = foldExpr(st.X)
+		}
+	case *ExpiresStmt:
+		foldStmt(st.Body)
+		if st.Catch != nil {
+			foldStmt(st.Catch)
+		}
+	case *TimelyStmt:
+		st.Deadline = foldExpr(st.Deadline)
+		foldStmt(st.Body)
+		if st.Else != nil {
+			foldStmt(st.Else)
+		}
+	}
+}
+
+func constOf(e Expr) (int64, bool) {
+	n, ok := e.(*NumLit)
+	if !ok {
+		return 0, false
+	}
+	return n.Val, true
+}
+
+func lit(pos Pos, t *Type, v int64) *NumLit {
+	n := &NumLit{exprBase: exprBase{P: pos}, Val: int64(int32(v))}
+	n.setType(t)
+	return n
+}
+
+func foldExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *Unary:
+		x.X = foldExpr(x.X)
+		if v, ok := constOf(x.X); ok {
+			switch x.Op {
+			case Minus:
+				return lit(x.Pos(), x.Type(), -v)
+			case Tilde:
+				return lit(x.Pos(), x.Type(), ^v)
+			case Bang:
+				if v == 0 {
+					return lit(x.Pos(), x.Type(), 1)
+				}
+				return lit(x.Pos(), x.Type(), 0)
+			}
+		}
+		return x
+	case *Binary:
+		x.L = foldExpr(x.L)
+		x.R = foldExpr(x.R)
+		lv, lok := constOf(x.L)
+		rv, rok := constOf(x.R)
+		if !lok || !rok {
+			// Algebraic identities with one constant operand.
+			if rok {
+				switch {
+				case (x.Op == Plus || x.Op == Minus || x.Op == Shl || x.Op == Shr || x.Op == Pipe || x.Op == Caret) && rv == 0:
+					return x.L
+				case (x.Op == Star || x.Op == Slash) && rv == 1:
+					return x.L
+				}
+			}
+			if lok {
+				switch {
+				case x.Op == Plus && lv == 0:
+					return x.R
+				case x.Op == Star && lv == 1:
+					return x.R
+				}
+			}
+			return x
+		}
+		// Pointer arithmetic never has two constant operands that should
+		// fold with scaling; the types here are integers.
+		unsigned := x.Type() != nil && x.Type().IsUnsigned()
+		l32, r32 := int32(lv), int32(rv)
+		ul, ur := uint32(lv), uint32(rv)
+		var out int64
+		switch x.Op {
+		case Plus:
+			out = int64(l32 + r32)
+		case Minus:
+			out = int64(l32 - r32)
+		case Star:
+			out = int64(l32 * r32)
+		case Slash:
+			if r32 == 0 {
+				return x
+			}
+			if unsigned {
+				out = int64(ul / ur)
+			} else {
+				out = int64(l32 / r32)
+			}
+		case Percent:
+			if r32 == 0 {
+				return x
+			}
+			if unsigned {
+				out = int64(ul % ur)
+			} else {
+				out = int64(l32 % r32)
+			}
+		case Amp:
+			out = int64(l32 & r32)
+		case Pipe:
+			out = int64(l32 | r32)
+		case Caret:
+			out = int64(l32 ^ r32)
+		case Shl:
+			out = int64(l32 << (ur & 31))
+		case Shr:
+			out = int64(ul >> (ur & 31))
+		case EqEq:
+			out = b2i(l32 == r32)
+		case NotEq:
+			out = b2i(l32 != r32)
+		case Lt:
+			out = cmpFold(unsigned, ul, ur, l32, r32, "lt")
+		case Le:
+			out = cmpFold(unsigned, ul, ur, l32, r32, "le")
+		case Gt:
+			out = cmpFold(unsigned, ul, ur, l32, r32, "gt")
+		case Ge:
+			out = cmpFold(unsigned, ul, ur, l32, r32, "ge")
+		case AndAnd:
+			out = b2i(l32 != 0 && r32 != 0)
+		case OrOr:
+			out = b2i(l32 != 0 || r32 != 0)
+		default:
+			return x
+		}
+		return lit(x.Pos(), x.Type(), out)
+	case *Index:
+		x.Idx = foldExpr(x.Idx)
+		return x
+	case *Call:
+		for i := range x.Args {
+			x.Args[i] = foldExpr(x.Args[i])
+		}
+		return x
+	case *AssignExpr:
+		x.R = foldExpr(x.R)
+		if ix, ok := x.L.(*Index); ok {
+			ix.Idx = foldExpr(ix.Idx)
+		}
+		return x
+	case *Cond:
+		x.C = foldExpr(x.C)
+		x.T = foldExpr(x.T)
+		x.F = foldExpr(x.F)
+		if v, ok := constOf(x.C); ok {
+			if v != 0 {
+				return x.T
+			}
+			return x.F
+		}
+		return x
+	}
+	return e
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmpFold(unsigned bool, ul, ur uint32, l, r int32, op string) int64 {
+	var b bool
+	if unsigned {
+		switch op {
+		case "lt":
+			b = ul < ur
+		case "le":
+			b = ul <= ur
+		case "gt":
+			b = ul > ur
+		case "ge":
+			b = ul >= ur
+		}
+	} else {
+		switch op {
+		case "lt":
+			b = l < r
+		case "le":
+			b = l <= r
+		case "gt":
+			b = l > r
+		case "ge":
+			b = l >= r
+		}
+	}
+	return b2i(b)
+}
+
+// ---- Bytecode peephole (O2) ----
+
+// peephole simplifies the emitted instruction stream in place. It is
+// careful never to merge across a label binding or touch a relocated
+// immediate (relocations and labels reference instruction indices).
+func (cg *codegen) peephole() {
+	relocated := map[int]bool{}
+	for _, r := range cg.relocs {
+		relocated[r.Instr] = true
+	}
+	for pass := 0; pass < 4; pass++ {
+		keep := make([]bool, len(cg.out))
+		for i := range keep {
+			keep[i] = true
+		}
+		changed := false
+		for i := 0; i+1 < len(cg.out); i++ {
+			if !keep[i] {
+				continue
+			}
+			a, b := cg.out[i], cg.out[i+1]
+			if relocated[i] || relocated[i+1] || cg.boundAt[i+1] {
+				continue
+			}
+			// pushi 0; add|sub  and  pushi 1; mul|div → drop both.
+			if a.Op == isa.PushI &&
+				((a.Imm == 0 && (b.Op == isa.Add || b.Op == isa.Sub)) ||
+					(a.Imm == 1 && (b.Op == isa.Mul || b.Op == isa.Div))) {
+				keep[i], keep[i+1] = false, false
+				changed = true
+				continue
+			}
+			// lnot; jz → jnz  and  lnot; jnz → jz.
+			if a.Op == isa.LNot && (b.Op == isa.Jz || b.Op == isa.Jnz) {
+				keep[i] = false
+				if b.Op == isa.Jz {
+					cg.out[i+1].Op = isa.Jnz
+				} else {
+					cg.out[i+1].Op = isa.Jz
+				}
+				changed = true
+				continue
+			}
+			// pushi a; pushi b; binop → pushi folded.
+			if i+2 < len(cg.out) && a.Op == isa.PushI && b.Op == isa.PushI &&
+				!relocated[i+2] && !cg.boundAt[i+2] {
+				if v, ok := foldBin(cg.out[i+2].Op, a.Imm, b.Imm); ok {
+					cg.out[i] = isa.Instr{Op: isa.PushI, Imm: v}
+					keep[i+1], keep[i+2] = false, false
+					changed = true
+					continue
+				}
+			}
+		}
+		// jmp to the immediately following instruction → drop.
+		for i, in := range cg.out {
+			if !keep[i] || relocated[i] {
+				continue
+			}
+			if in.Op == isa.Jmp && cg.labels[in.Imm] == i+1 {
+				keep[i] = false
+				changed = true
+			}
+		}
+		// Unreachable code: instructions after an unconditional transfer
+		// with no label bound before them can never execute. Relocated
+		// instructions are dropped too — their relocations die with them
+		// in compact().
+		unreachable := false
+		for i, in := range cg.out {
+			if cg.boundAt[i] {
+				unreachable = false
+			}
+			if unreachable && keep[i] {
+				keep[i] = false
+				changed = true
+				continue
+			}
+			if keep[i] && (in.Op == isa.Jmp || in.Op == isa.Leave || in.Op == isa.Halt) {
+				unreachable = true
+			}
+		}
+		if !changed {
+			return
+		}
+		cg.compact(keep, relocated)
+	}
+}
+
+// foldBin folds a binary ALU op over constants.
+func foldBin(op isa.Op, a, b int32) (int32, bool) {
+	switch op {
+	case isa.Add:
+		return a + b, true
+	case isa.Sub:
+		return a - b, true
+	case isa.Mul:
+		return a * b, true
+	case isa.And:
+		return a & b, true
+	case isa.Or:
+		return a | b, true
+	case isa.Xor:
+		return a ^ b, true
+	case isa.Shl:
+		return a << (uint32(b) & 31), true
+	case isa.Shr:
+		return int32(uint32(a) >> (uint32(b) & 31)), true
+	case isa.Div:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case isa.Mod:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	}
+	return 0, false
+}
+
+// compact removes dropped instructions and remaps labels, reloc indices and
+// the bound-instruction set.
+func (cg *codegen) compact(keep []bool, relocated map[int]bool) {
+	newIdx := make([]int, len(cg.out)+1)
+	n := 0
+	for i := range cg.out {
+		newIdx[i] = n
+		if keep[i] {
+			n++
+		}
+	}
+	newIdx[len(cg.out)] = n
+	out := make([]isa.Instr, 0, n)
+	for i, in := range cg.out {
+		if keep[i] {
+			out = append(out, in)
+		}
+	}
+	cg.out = out
+	for id, pos := range cg.labels {
+		if pos >= 0 {
+			cg.labels[id] = newIdx[pos]
+		}
+	}
+	newBound := map[int]bool{}
+	for pos := range cg.boundAt {
+		newBound[newIdx[pos]] = true
+	}
+	cg.boundAt = newBound
+	newRelocs := cg.relocs[:0]
+	newRelocated := map[int]bool{}
+	for _, r := range cg.relocs {
+		if keep[r.Instr] {
+			r.Instr = newIdx[r.Instr]
+			newRelocs = append(newRelocs, r)
+			newRelocated[r.Instr] = true
+		}
+	}
+	cg.relocs = newRelocs
+	for k := range relocated {
+		delete(relocated, k)
+	}
+	for k := range newRelocated {
+		relocated[k] = true
+	}
+}

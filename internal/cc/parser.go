@@ -1,0 +1,763 @@
+package cc
+
+// parser is a recursive-descent parser over a pre-lexed token slice.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a TICS-C translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case KwInt, KwUint, KwChar, KwVoid:
+		return true
+	}
+	return false
+}
+
+// baseType parses a base type keyword.
+func (p *parser) baseType() (*Type, error) {
+	switch p.next().Kind {
+	case KwInt:
+		return IntType(), nil
+	case KwUint:
+		return UintType(), nil
+	case KwChar:
+		return CharType(), nil
+	case KwVoid:
+		return VoidType(), nil
+	}
+	return nil, errf(p.toks[p.pos-1].Pos, "expected a type")
+}
+
+// stars parses leading '*' pointer declarators.
+func (p *parser) stars(t *Type) *Type {
+	for p.accept(Star) {
+		t = PtrTo(t)
+	}
+	return t
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for !p.at(EOF) {
+		expires := int64(-1)
+		if p.at(AtExpiresAfter) {
+			pos := p.next().Pos
+			if _, err := p.expect(Assign); err != nil {
+				return nil, err
+			}
+			n, err := p.expect(Number)
+			if err != nil {
+				return nil, err
+			}
+			if n.Val < 0 {
+				return nil, errf(pos, "@expires_after duration must be non-negative")
+			}
+			expires = n.Val
+		}
+		if !p.isTypeStart() {
+			return nil, errf(p.cur().Pos, "expected a declaration, found %s", p.cur())
+		}
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		t := p.stars(base)
+		name, err := p.expect(Ident)
+		if err != nil {
+			return nil, err
+		}
+		if p.at(LParen) {
+			if expires >= 0 {
+				return nil, errf(name.Pos, "@expires_after applies to variables, not functions")
+			}
+			fn, err := p.funcRest(t, name)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+			continue
+		}
+		// Global variable declaration(s).
+		for {
+			g, err := p.globalRest(t, name, expires)
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+			if !p.accept(Comma) {
+				break
+			}
+			t2 := p.stars(base)
+			name, err = p.expect(Ident)
+			if err != nil {
+				return nil, err
+			}
+			t = t2
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// globalRest parses the remainder of one global declarator (array suffix
+// and constant initializer).
+func (p *parser) globalRest(t *Type, name Token, expires int64) (*GlobalDecl, error) {
+	if p.accept(LBrack) {
+		n, err := p.expect(Number)
+		if err != nil {
+			return nil, err
+		}
+		if n.Val <= 0 {
+			return nil, errf(n.Pos, "array length must be positive")
+		}
+		if _, err := p.expect(RBrack); err != nil {
+			return nil, err
+		}
+		t = ArrayOf(t, int(n.Val))
+	}
+	g := &GlobalDecl{P: name.Pos, Name: name.Text, Type: t, ExpiresAfterMs: expires}
+	if p.accept(Assign) {
+		if p.accept(LBrace) {
+			for {
+				v, err := p.constValue()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, v)
+				if !p.accept(Comma) {
+					break
+				}
+				if p.at(RBrace) { // trailing comma
+					break
+				}
+			}
+			if _, err := p.expect(RBrace); err != nil {
+				return nil, err
+			}
+			if t.Kind != TArray {
+				return nil, errf(name.Pos, "brace initializer on non-array %s", name.Text)
+			}
+			if len(g.Init) > t.Len {
+				return nil, errf(name.Pos, "too many initializers for %s (%d > %d)", name.Text, len(g.Init), t.Len)
+			}
+		} else {
+			v, err := p.constValue()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = []int64{v}
+			if t.Kind == TArray {
+				return nil, errf(name.Pos, "array %s needs a brace initializer", name.Text)
+			}
+		}
+	}
+	return g, nil
+}
+
+// constValue parses a (possibly negated) integer constant.
+func (p *parser) constValue() (int64, error) {
+	neg := false
+	for p.accept(Minus) {
+		neg = !neg
+	}
+	n, err := p.expect(Number)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -n.Val, nil
+	}
+	return n.Val, nil
+}
+
+func (p *parser) funcRest(ret *Type, name Token) (*FuncDecl, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{P: name.Pos, Name: name.Text, Ret: ret}
+	if p.accept(KwVoid) && p.at(RParen) {
+		// f(void)
+	} else if !p.at(RParen) {
+		// We may have consumed 'void' as a parameter base type start; back up.
+		if p.toks[p.pos-1].Kind == KwVoid {
+			p.pos--
+		}
+		for {
+			base, err := p.baseType()
+			if err != nil {
+				return nil, err
+			}
+			t := p.stars(base)
+			pn, err := p.expect(Ident)
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(LBrack) { // `int a[]` parameter decays to pointer
+				if _, err := p.expect(RBrack); err != nil {
+					return nil, err
+				}
+				t = PtrTo(t)
+			}
+			if t.Kind == TVoid {
+				return nil, errf(pn.Pos, "parameter %s has void type", pn.Text)
+			}
+			fn.Params = append(fn.Params, Param{Name: pn.Text, Type: t})
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{stmtBase: stmtBase{P: lb.Pos}}
+	for !p.at(RBrace) {
+		if p.at(EOF) {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case LBrace:
+		return p.block()
+	case Semi:
+		p.next()
+		return &Block{stmtBase: stmtBase{P: t.Pos}}, nil
+	case KwIf:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept(KwElse) {
+			els, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{stmtBase: stmtBase{P: t.Pos}, Cond: cond, Then: then, Else: els}, nil
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{stmtBase: stmtBase{P: t.Pos}, Cond: cond, Body: body}, nil
+	case KwFor:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		f := &For{stmtBase: stmtBase{P: t.Pos}}
+		var err error
+		if !p.at(Semi) {
+			f.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err = p.expect(Semi); err != nil {
+			return nil, err
+		}
+		if !p.at(Semi) {
+			f.Cond, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err = p.expect(Semi); err != nil {
+			return nil, err
+		}
+		if !p.at(RParen) {
+			f.Post, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err = p.expect(RParen); err != nil {
+			return nil, err
+		}
+		f.Body, err = p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return f, nil
+	case KwReturn:
+		p.next()
+		r := &Return{stmtBase: stmtBase{P: t.Pos}}
+		if !p.at(Semi) {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = x
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case KwBreak:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &Break{stmtBase{P: t.Pos}}, nil
+	case KwContinue:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &Continue{stmtBase{P: t.Pos}}, nil
+	case KwDo:
+		p.next()
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KwWhile); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &DoWhile{stmtBase: stmtBase{P: t.Pos}, Body: body, Cond: cond}, nil
+	case KwSwitch:
+		return p.switchStmt()
+	case AtExpires:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		lv, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st := &ExpiresStmt{stmtBase: stmtBase{P: t.Pos}, LV: lv, Body: body}
+		if p.accept(KwCatch) {
+			st.Catch, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case AtTimely:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		dl, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st := &TimelyStmt{stmtBase: stmtBase{P: t.Pos}, Deadline: dl, Body: body}
+		if p.accept(KwElse) {
+			st.Else, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	}
+	if p.isTypeStart() {
+		return p.localDecl()
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{stmtBase: stmtBase{P: t.Pos}, X: x}, nil
+}
+
+func (p *parser) localDecl() (Stmt, error) {
+	pos := p.cur().Pos
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{stmtBase: stmtBase{P: pos}}
+	for {
+		t := p.stars(base)
+		name, err := p.expect(Ident)
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(LBrack) {
+			n, err := p.expect(Number)
+			if err != nil {
+				return nil, err
+			}
+			if n.Val <= 0 {
+				return nil, errf(n.Pos, "array length must be positive")
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			t = ArrayOf(t, int(n.Val))
+		}
+		if t.Kind == TVoid {
+			return nil, errf(name.Pos, "variable %s has void type", name.Text)
+		}
+		d := &LocalDecl{stmtBase: stmtBase{P: name.Pos}, Name: name.Text, Type: t}
+		if p.accept(Assign) {
+			d.Init, err = p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind == TArray {
+				return nil, errf(name.Pos, "local array %s cannot have an initializer", name.Text)
+			}
+		}
+		b.Stmts = append(b.Stmts, d)
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if len(b.Stmts) == 1 {
+		return b.Stmts[0], nil
+	}
+	return b, nil
+}
+
+// switchStmt parses switch (expr) { case N: ... default: ... } with C
+// fallthrough semantics.
+func (p *parser) switchStmt() (Stmt, error) {
+	t := p.next() // switch
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	sw := &Switch{stmtBase: stmtBase{P: t.Pos}, Cond: cond}
+	sawDefault := false
+	for !p.at(RBrace) {
+		if p.at(EOF) {
+			return nil, errf(t.Pos, "unterminated switch")
+		}
+		var g CaseGroup
+		// One group = a run of adjacent labels followed by statements.
+		for {
+			if p.accept(KwCase) {
+				v, err := p.constValue()
+				if err != nil {
+					return nil, err
+				}
+				g.Vals = append(g.Vals, v)
+			} else if p.at(KwDefault) {
+				p.next()
+				if sawDefault {
+					return nil, errf(p.cur().Pos, "duplicate default label")
+				}
+				sawDefault = true
+				g.IsDefault = true
+			} else {
+				break
+			}
+			if _, err := p.expect(Colon); err != nil {
+				return nil, err
+			}
+		}
+		if len(g.Vals) == 0 && !g.IsDefault {
+			return nil, errf(p.cur().Pos, "statement outside a case label in switch")
+		}
+		for !p.at(KwCase) && !p.at(KwDefault) && !p.at(RBrace) {
+			if p.at(EOF) {
+				return nil, errf(t.Pos, "unterminated switch")
+			}
+			st, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			g.Stmts = append(g.Stmts, st)
+		}
+		sw.Groups = append(sw.Groups, g)
+	}
+	p.next() // }
+	return sw, nil
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *parser) expr() (Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (Expr, error) {
+	l, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case Assign, PlusAssign, MinusAssign, StarAssign, AmpAssign,
+		PipeAssign, CaretAssign, ShlAssign, ShrAssign, AtAssign:
+		op := p.next().Kind
+		r, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{exprBase: exprBase{P: l.Pos()}, Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) condExpr() (Expr, error) {
+	c, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(Question) {
+		return c, nil
+	}
+	t, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Colon); err != nil {
+		return nil, err
+	}
+	f, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{exprBase: exprBase{P: c.Pos()}, C: c, T: t, F: f}, nil
+}
+
+// binary operator precedence, lowest first.
+var precedence = map[Kind]int{
+	OrOr: 1, AndAnd: 2,
+	Pipe: 3, Caret: 4, Amp: 5,
+	EqEq: 6, NotEq: 6,
+	Lt: 7, Le: 7, Gt: 7, Ge: 7,
+	Shl: 8, Shr: 8,
+	Plus: 9, Minus: 9,
+	Star: 10, Slash: 10, Percent: 10,
+}
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().Kind
+		prec, ok := precedence[op]
+		if !ok || prec <= minPrec {
+			return l, nil
+		}
+		p.next()
+		r, err := p.binExpr(prec)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{P: l.Pos()}, Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Minus, Tilde, Bang, Star, Amp:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{P: t.Pos}, Op: t.Kind, X: x}, nil
+	case PlusPlus, MinusMinus:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDec{exprBase: exprBase{P: t.Pos}, Op: t.Kind, X: x, Prefix: true}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case LBrack:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: exprBase{P: x.Pos()}, Base: x, Idx: idx}
+		case PlusPlus, MinusMinus:
+			op := p.next().Kind
+			x = &IncDec{exprBase: exprBase{P: x.Pos()}, Op: op, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Number:
+		p.next()
+		return &NumLit{exprBase: exprBase{P: t.Pos}, Val: t.Val}, nil
+	case Ident:
+		p.next()
+		if p.at(LParen) {
+			p.next()
+			call := &Call{exprBase: exprBase{P: t.Pos}, Name: t.Text}
+			if !p.at(RParen) {
+				for {
+					a, err := p.assignExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &VarRef{exprBase: exprBase{P: t.Pos}, Name: t.Text}, nil
+	case LParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, errf(t.Pos, "unexpected %s in expression", t)
+}

@@ -1,0 +1,725 @@
+package cc
+
+import "fmt"
+
+// SymKind classifies a resolved symbol.
+type SymKind int
+
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+)
+
+// Symbol is a resolved variable.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Type *Type
+	// Globals: index into Unit.Globals (the code generator assigns the
+	// address space offset).
+	GlobalIndex int
+	Global      *GlobalDecl
+	// Locals and parameters: FP-relative byte offset of the slot (for
+	// arrays, of the lowest address).
+	FPOff int32
+}
+
+// Unit is a semantically analyzed translation unit.
+type Unit struct {
+	File    *File
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+	Main    *FuncDecl
+	// HasRecursion reports whether any function participates in a
+	// call-graph cycle (Chinchilla-style static promotion rejects these).
+	HasRecursion bool
+	// UsesPointers reports whether the program declares pointer variables
+	// or takes addresses (task-based models reject these, Table 5).
+	UsesPointers bool
+}
+
+func usesPtr(t *Type) bool {
+	for ; t != nil; t = t.Elem {
+		if t.Kind == TPtr {
+			return true
+		}
+	}
+	return false
+}
+
+type scope struct {
+	parent *scope
+	syms   map[string]*Symbol
+}
+
+func (s *scope) lookup(name string) *Symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.syms[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+type analyzer struct {
+	unit    *Unit
+	globals map[string]*Symbol
+	funcs   map[string]*FuncDecl
+	fn      *FuncDecl
+	scope   *scope
+	frame   int32 // running local frame size in bytes
+	loops   int   // continue targets
+	breaks  int   // break targets (loops and switches)
+}
+
+// Analyze resolves names, checks types, lays out stack frames and detects
+// recursion for a parsed file.
+func Analyze(f *File) (*Unit, error) {
+	a := &analyzer{
+		unit:    &Unit{File: f, Globals: f.Globals, Funcs: f.Funcs},
+		globals: map[string]*Symbol{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	for i, g := range f.Globals {
+		if g.Type.Kind == TVoid {
+			return nil, errf(g.P, "global %s has void type", g.Name)
+		}
+		if _, dup := a.globals[g.Name]; dup {
+			return nil, errf(g.P, "duplicate global %s", g.Name)
+		}
+		if g.ExpiresAfterMs >= 0 && !g.Type.Decay().IsScalar() && g.Type.Kind != TArray {
+			return nil, errf(g.P, "@expires_after on unsupported type %s", g.Type)
+		}
+		if usesPtr(g.Type) {
+			a.unit.UsesPointers = true
+		}
+		sym := &Symbol{Name: g.Name, Kind: SymGlobal, Type: g.Type, GlobalIndex: i, Global: g}
+		g.Sym = sym
+		a.globals[g.Name] = sym
+	}
+	for i, fn := range f.Funcs {
+		if _, dup := a.funcs[fn.Name]; dup {
+			return nil, errf(fn.P, "duplicate function %s", fn.Name)
+		}
+		if _, isB := builtins[fn.Name]; isB {
+			return nil, errf(fn.P, "function %s shadows a builtin", fn.Name)
+		}
+		fn.Index = i
+		fn.Calls = map[string]bool{}
+		a.funcs[fn.Name] = fn
+	}
+	for _, fn := range f.Funcs {
+		if err := a.checkFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	main, ok := a.funcs["main"]
+	if !ok {
+		return nil, fmt.Errorf("cc: program has no main function")
+	}
+	if len(main.Params) != 0 {
+		return nil, errf(main.P, "main must take no parameters")
+	}
+	a.unit.Main = main
+	a.markRecursion()
+	return a.unit, nil
+}
+
+// markRecursion finds call-graph cycles and marks every function on one.
+func (a *analyzer) markRecursion() {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	onStack := []string{}
+	var visit func(name string)
+	visit = func(name string) {
+		color[name] = gray
+		onStack = append(onStack, name)
+		fn := a.funcs[name]
+		for callee := range fn.Calls {
+			cf, ok := a.funcs[callee]
+			if !ok {
+				continue
+			}
+			switch color[callee] {
+			case white:
+				visit(callee)
+			case gray:
+				// Found a cycle: mark everything from callee to top of stack.
+				mark := false
+				for _, n := range onStack {
+					if n == callee {
+						mark = true
+					}
+					if mark {
+						a.funcs[n].Recursive = true
+						a.unit.HasRecursion = true
+					}
+				}
+				_ = cf
+			}
+		}
+		onStack = onStack[:len(onStack)-1]
+		color[name] = black
+	}
+	for name := range a.funcs {
+		if color[name] == white {
+			visit(name)
+		}
+	}
+}
+
+func (a *analyzer) checkFunc(fn *FuncDecl) error {
+	a.fn = fn
+	a.frame = 0
+	a.loops = 0
+	a.breaks = 0
+	a.scope = &scope{syms: map[string]*Symbol{}}
+	for i := range fn.Params {
+		p := &fn.Params[i]
+		if usesPtr(p.Type) {
+			a.unit.UsesPointers = true
+		}
+		sym := &Symbol{Name: p.Name, Kind: SymParam, Type: p.Type, FPOff: int32(8 + 4*i)}
+		p.Sym = sym
+		if _, dup := a.scope.syms[p.Name]; dup {
+			return errf(fn.P, "duplicate parameter %s in %s", p.Name, fn.Name)
+		}
+		a.scope.syms[p.Name] = sym
+	}
+	if err := a.checkBlock(fn.Body); err != nil {
+		return err
+	}
+	fn.LocalBytes = int(a.frame)
+	return nil
+}
+
+func (a *analyzer) push() { a.scope = &scope{parent: a.scope, syms: map[string]*Symbol{}} }
+func (a *analyzer) pop()  { a.scope = a.scope.parent }
+
+func (a *analyzer) checkBlock(b *Block) error {
+	a.push()
+	defer a.pop()
+	for _, s := range b.Stmts {
+		if err := a.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *analyzer) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return a.checkBlock(st)
+	case *ExprStmt:
+		_, err := a.checkExpr(st.X)
+		return err
+	case *LocalDecl:
+		if st.Init != nil {
+			it, err := a.checkExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if err := a.assignable(st.Pos(), st.Type, it, st.Init); err != nil {
+				return err
+			}
+		}
+		if usesPtr(st.Type) {
+			a.unit.UsesPointers = true
+		}
+		size := int32((st.Type.Size() + 3) &^ 3)
+		a.frame += size
+		sym := &Symbol{Name: st.Name, Kind: SymLocal, Type: st.Type, FPOff: -a.frame}
+		st.Sym = sym
+		if _, dup := a.scope.syms[st.Name]; dup {
+			return errf(st.Pos(), "duplicate variable %s", st.Name)
+		}
+		a.scope.syms[st.Name] = sym
+		return nil
+	case *If:
+		if err := a.checkCond(st.Cond); err != nil {
+			return err
+		}
+		if err := a.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return a.checkStmt(st.Else)
+		}
+		return nil
+	case *While:
+		if err := a.checkCond(st.Cond); err != nil {
+			return err
+		}
+		a.loops++
+		a.breaks++
+		defer func() { a.loops--; a.breaks-- }()
+		return a.checkStmt(st.Body)
+	case *DoWhile:
+		a.loops++
+		a.breaks++
+		err := a.checkStmt(st.Body)
+		a.loops--
+		a.breaks--
+		if err != nil {
+			return err
+		}
+		return a.checkCond(st.Cond)
+	case *Switch:
+		t, err := a.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if !t.IsInteger() {
+			return errf(st.Pos(), "switch needs an integer expression, got %s", t)
+		}
+		// The code generator spills the switch value into a hidden slot.
+		a.frame += 4
+		st.TempOff = -a.frame
+		seen := map[int64]bool{}
+		for _, g := range st.Groups {
+			for _, v := range g.Vals {
+				if seen[v] {
+					return errf(st.Pos(), "duplicate case %d", v)
+				}
+				seen[v] = true
+			}
+		}
+		a.breaks++
+		defer func() { a.breaks-- }()
+		for gi := range st.Groups {
+			a.push()
+			for _, sub := range st.Groups[gi].Stmts {
+				if err := a.checkStmt(sub); err != nil {
+					a.pop()
+					return err
+				}
+			}
+			a.pop()
+		}
+		return nil
+	case *For:
+		if st.Init != nil {
+			if _, err := a.checkExpr(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := a.checkCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if _, err := a.checkExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		a.loops++
+		a.breaks++
+		defer func() { a.loops--; a.breaks-- }()
+		return a.checkStmt(st.Body)
+	case *Return:
+		if st.X == nil {
+			if a.fn.Ret.Kind != TVoid {
+				return errf(st.Pos(), "%s must return a %s value", a.fn.Name, a.fn.Ret)
+			}
+			return nil
+		}
+		if a.fn.Ret.Kind == TVoid {
+			return errf(st.Pos(), "void function %s returns a value", a.fn.Name)
+		}
+		t, err := a.checkExpr(st.X)
+		if err != nil {
+			return err
+		}
+		return a.assignable(st.Pos(), a.fn.Ret, t, st.X)
+	case *Break:
+		if a.breaks == 0 {
+			return errf(st.Pos(), "break outside a loop or switch")
+		}
+		return nil
+	case *Continue:
+		if a.loops == 0 {
+			return errf(st.Pos(), "continue outside a loop")
+		}
+		return nil
+	case *ExpiresStmt:
+		if _, err := a.checkExpr(st.LV); err != nil {
+			return err
+		}
+		if _, err := a.annotatedSlot(st.LV); err != nil {
+			return err
+		}
+		if err := a.checkBlock(st.Body); err != nil {
+			return err
+		}
+		if st.Catch != nil {
+			return a.checkBlock(st.Catch)
+		}
+		return nil
+	case *TimelyStmt:
+		t, err := a.checkExpr(st.Deadline)
+		if err != nil {
+			return err
+		}
+		if !t.IsInteger() {
+			return errf(st.Pos(), "@timely deadline must be an integer time, got %s", t)
+		}
+		if err := a.checkBlock(st.Body); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return a.checkBlock(st.Else)
+		}
+		return nil
+	}
+	return fmt.Errorf("cc: unhandled statement %T", s)
+}
+
+// annotatedSlot checks that lv names a @expires_after-annotated global (or
+// an element of one) and returns its declaration.
+func (a *analyzer) annotatedSlot(lv Expr) (*GlobalDecl, error) {
+	switch e := lv.(type) {
+	case *VarRef:
+		if e.Sym == nil || e.Sym.Kind != SymGlobal {
+			return nil, errf(lv.Pos(), "time annotations apply to globals; %s is not one", e.Name)
+		}
+		g := e.Sym.Global
+		if g.ExpiresAfterMs < 0 {
+			return nil, errf(lv.Pos(), "%s has no @expires_after annotation", e.Name)
+		}
+		return g, nil
+	case *Index:
+		base, ok := e.Base.(*VarRef)
+		if !ok || base.Sym == nil || base.Sym.Kind != SymGlobal || base.Sym.Type.Kind != TArray {
+			return nil, errf(lv.Pos(), "time-annotated element access must index a global array directly")
+		}
+		g := base.Sym.Global
+		if g.ExpiresAfterMs < 0 {
+			return nil, errf(lv.Pos(), "%s has no @expires_after annotation", base.Name)
+		}
+		return g, nil
+	}
+	return nil, errf(lv.Pos(), "not a time-annotatable lvalue")
+}
+
+func (a *analyzer) checkCond(e Expr) error {
+	t, err := a.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if !t.Decay().IsScalar() {
+		return errf(e.Pos(), "condition must be scalar, got %s", t)
+	}
+	return nil
+}
+
+// isLValue reports whether e designates a storage location.
+func isLValue(e Expr) bool {
+	switch x := e.(type) {
+	case *VarRef:
+		return true
+	case *Index:
+		return true
+	case *Unary:
+		return x.Op == Star
+	}
+	return false
+}
+
+func (a *analyzer) assignable(pos Pos, dst *Type, src *Type, srcExpr Expr) error {
+	dst = dst.Decay()
+	src = src.Decay()
+	if dst.IsInteger() && src.IsInteger() {
+		return nil
+	}
+	if dst.Kind == TPtr {
+		if src.Kind == TPtr && (dst.Elem.Same(src.Elem) || dst.Elem.Kind == TVoid || src.Elem.Kind == TVoid) {
+			return nil
+		}
+		if n, ok := srcExpr.(*NumLit); ok && n.Val == 0 {
+			return nil // null pointer constant
+		}
+	}
+	if dst.IsInteger() && src.Kind == TPtr {
+		return nil // pointer-to-int, used by hash functions over addresses
+	}
+	return errf(pos, "cannot assign %s to %s", src, dst)
+}
+
+func (a *analyzer) checkExpr(e Expr) (*Type, error) {
+	t, err := a.typeOf(e)
+	if err != nil {
+		return nil, err
+	}
+	e.setType(t)
+	return t, nil
+}
+
+func (a *analyzer) typeOf(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *NumLit:
+		return IntType(), nil
+	case *VarRef:
+		sym := a.scope.lookup(x.Name)
+		if sym == nil {
+			sym = a.globals[x.Name]
+		}
+		if sym == nil {
+			return nil, errf(x.Pos(), "undefined variable %s", x.Name)
+		}
+		x.Sym = sym
+		return sym.Type, nil
+	case *Unary:
+		xt, err := a.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case Minus, Tilde:
+			if !xt.IsInteger() {
+				return nil, errf(x.Pos(), "operator %s needs an integer, got %s", x.Op, xt)
+			}
+			return promote(xt), nil
+		case Bang:
+			if !xt.Decay().IsScalar() {
+				return nil, errf(x.Pos(), "operator ! needs a scalar, got %s", xt)
+			}
+			return IntType(), nil
+		case Star:
+			dt := xt.Decay()
+			if dt.Kind != TPtr {
+				return nil, errf(x.Pos(), "cannot dereference %s", xt)
+			}
+			if dt.Elem.Kind == TVoid {
+				return nil, errf(x.Pos(), "cannot dereference void*")
+			}
+			return dt.Elem, nil
+		case Amp:
+			if !isLValue(x.X) {
+				return nil, errf(x.Pos(), "cannot take the address of this expression")
+			}
+			a.unit.UsesPointers = true
+			return PtrTo(xt), nil
+		}
+		return nil, errf(x.Pos(), "unhandled unary %s", x.Op)
+	case *Binary:
+		lt, err := a.checkExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := a.checkExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		ld, rd := lt.Decay(), rt.Decay()
+		switch x.Op {
+		case AndAnd, OrOr:
+			if !ld.IsScalar() || !rd.IsScalar() {
+				return nil, errf(x.Pos(), "logical operands must be scalar")
+			}
+			return IntType(), nil
+		case EqEq, NotEq, Lt, Le, Gt, Ge:
+			if !ld.IsScalar() || !rd.IsScalar() {
+				return nil, errf(x.Pos(), "comparison operands must be scalar")
+			}
+			return IntType(), nil
+		case Plus:
+			if ld.Kind == TPtr && rd.IsInteger() {
+				return ld, nil
+			}
+			if rd.Kind == TPtr && ld.IsInteger() {
+				return rd, nil
+			}
+		case Minus:
+			if ld.Kind == TPtr && rd.IsInteger() {
+				return ld, nil
+			}
+			if ld.Kind == TPtr && rd.Kind == TPtr {
+				return IntType(), nil
+			}
+		}
+		if !ld.IsInteger() || !rd.IsInteger() {
+			return nil, errf(x.Pos(), "operator %s needs integer operands, got %s and %s", x.Op, lt, rt)
+		}
+		if promote(ld).Kind == TUint || promote(rd).Kind == TUint {
+			return UintType(), nil
+		}
+		return IntType(), nil
+	case *Index:
+		bt, err := a.checkExpr(x.Base)
+		if err != nil {
+			return nil, err
+		}
+		it, err := a.checkExpr(x.Idx)
+		if err != nil {
+			return nil, err
+		}
+		bd := bt.Decay()
+		if bd.Kind != TPtr {
+			return nil, errf(x.Pos(), "cannot index %s", bt)
+		}
+		if !it.IsInteger() {
+			return nil, errf(x.Pos(), "array index must be an integer, got %s", it)
+		}
+		return bd.Elem, nil
+	case *Call:
+		return a.checkCall(x)
+	case *AssignExpr:
+		if !isLValue(x.L) {
+			return nil, errf(x.Pos(), "assignment target is not an lvalue")
+		}
+		lt, err := a.checkExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := a.checkExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == AtAssign {
+			if _, err := a.annotatedSlot(x.L); err != nil {
+				return nil, err
+			}
+		}
+		switch x.Op {
+		case PlusAssign, MinusAssign:
+			if !lt.IsInteger() && lt.Decay().Kind != TPtr {
+				return nil, errf(x.Pos(), "%s needs an arithmetic target", x.Op)
+			}
+			if !rt.IsInteger() {
+				return nil, errf(x.Pos(), "%s needs an integer operand", x.Op)
+			}
+			return lt, nil
+		case StarAssign, AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign:
+			if !lt.IsInteger() || !rt.IsInteger() {
+				return nil, errf(x.Pos(), "%s needs integer operands", x.Op)
+			}
+			return lt, nil
+		}
+		if err := a.assignable(x.Pos(), lt, rt, x.R); err != nil {
+			return nil, err
+		}
+		return lt, nil
+	case *IncDec:
+		if !isLValue(x.X) {
+			return nil, errf(x.Pos(), "%s target is not an lvalue", x.Op)
+		}
+		xt, err := a.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !xt.IsInteger() && xt.Decay().Kind != TPtr {
+			return nil, errf(x.Pos(), "%s needs an arithmetic target, got %s", x.Op, xt)
+		}
+		return xt, nil
+	case *Cond:
+		if err := a.checkCond(x.C); err != nil {
+			return nil, err
+		}
+		tt, err := a.checkExpr(x.T)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := a.checkExpr(x.F)
+		if err != nil {
+			return nil, err
+		}
+		td, fd := tt.Decay(), ft.Decay()
+		if td.IsInteger() && fd.IsInteger() {
+			if td.Kind == TUint || fd.Kind == TUint {
+				return UintType(), nil
+			}
+			return IntType(), nil
+		}
+		if td.Same(fd) {
+			return td, nil
+		}
+		return nil, errf(x.Pos(), "mismatched ?: arms: %s vs %s", tt, ft)
+	}
+	return nil, errf(e.Pos(), "unhandled expression %T", e)
+}
+
+// promote widens char to int for arithmetic.
+func promote(t *Type) *Type {
+	if t.Kind == TChar {
+		return IntType()
+	}
+	return t
+}
+
+func (a *analyzer) checkCall(c *Call) (*Type, error) {
+	if b, ok := builtins[c.Name]; ok {
+		c.Builtin = b
+		a.fn.Calls[c.Name] = false // builtins don't create graph edges; keep map allocated
+		delete(a.fn.Calls, c.Name)
+		return a.checkBuiltin(c, b)
+	}
+	fn, ok := a.funcs[c.Name]
+	if !ok {
+		return nil, errf(c.Pos(), "undefined function %s", c.Name)
+	}
+	c.Fn = fn
+	a.fn.Calls[c.Name] = true
+	if len(c.Args) != len(fn.Params) {
+		return nil, errf(c.Pos(), "%s takes %d arguments, got %d", c.Name, len(fn.Params), len(c.Args))
+	}
+	for i, arg := range c.Args {
+		at, err := a.checkExpr(arg)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.assignable(arg.Pos(), fn.Params[i].Type, at, arg); err != nil {
+			return nil, err
+		}
+	}
+	return fn.Ret, nil
+}
+
+func (a *analyzer) checkBuiltin(c *Call, b Builtin) (*Type, error) {
+	arity := map[Builtin]int{
+		BSense: 1, BSend: 1, BOut: 2, BMark: 1, BNow: 0, BCheckpoint: 0, BTransitionTo: 1,
+	}
+	want := arity[b]
+	if len(c.Args) != want {
+		return nil, errf(c.Pos(), "builtin %s takes %d arguments, got %d", c.Name, want, len(c.Args))
+	}
+	for _, arg := range c.Args {
+		at, err := a.checkExpr(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !at.Decay().IsScalar() {
+			return nil, errf(arg.Pos(), "builtin %s argument must be scalar, got %s", c.Name, at)
+		}
+	}
+	// Constant-argument requirements: sensor ids, channels, mark ids and
+	// task ids become instruction immediates.
+	needConst := func(i int) error {
+		if _, ok := c.Args[i].(*NumLit); !ok {
+			return errf(c.Args[i].Pos(), "builtin %s argument %d must be an integer constant", c.Name, i+1)
+		}
+		return nil
+	}
+	switch b {
+	case BSense, BMark, BTransitionTo:
+		if err := needConst(0); err != nil {
+			return nil, err
+		}
+	case BOut:
+		if err := needConst(0); err != nil {
+			return nil, err
+		}
+	}
+	switch b {
+	case BSense, BNow:
+		return IntType(), nil
+	default:
+		return VoidType(), nil
+	}
+}

@@ -1,0 +1,144 @@
+// Package cc implements the TICS-C compiler: a from-scratch front end for
+// the C subset the paper's benchmarks need — pointers, arrays, recursion,
+// globals, char/int/uint — extended with the TICS time annotations
+// (@expires_after, @=, @expires/catch, @timely/else). It compiles to the
+// stack-machine bytecode in internal/isa.
+package cc
+
+import "fmt"
+
+// Kind is a lexical token kind.
+type Kind int
+
+const (
+	EOF Kind = iota
+	Ident
+	Number // integer literal (decimal, hex, char), possibly time-suffixed
+	// Keywords.
+	KwInt
+	KwUint
+	KwChar
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwCatch
+	KwSwitch
+	KwCase
+	KwDefault
+	KwDo
+	// TICS annotations.
+	AtExpiresAfter // @expires_after
+	AtExpires      // @expires
+	AtTimely       // @timely
+	AtAssign       // @=
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBrack
+	RBrack
+	Comma
+	Semi
+	Assign // =
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Bang
+	Shl
+	Shr
+	Lt
+	Le
+	Gt
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	PlusPlus
+	MinusMinus
+	Question
+	Colon
+	PlusAssign  // +=
+	MinusAssign // -=
+	StarAssign  // *=
+	AmpAssign   // &=
+	PipeAssign  // |=
+	CaretAssign // ^=
+	ShlAssign   // <<=
+	ShrAssign   // >>=
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Number: "number",
+	KwInt: "int", KwUint: "uint", KwChar: "char", KwVoid: "void",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for",
+	KwReturn: "return", KwBreak: "break", KwContinue: "continue", KwCatch: "catch",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default", KwDo: "do",
+	AtExpiresAfter: "@expires_after", AtExpires: "@expires", AtTimely: "@timely", AtAssign: "@=",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBrack: "[", RBrack: "]",
+	Comma: ",", Semi: ";", Assign: "=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Bang: "!",
+	Shl: "<<", Shr: ">>", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||",
+	PlusPlus: "++", MinusMinus: "--", Question: "?", Colon: ":",
+	PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=", AmpAssign: "&=",
+	PipeAssign: "|=", CaretAssign: "^=", ShlAssign: "<<=", ShrAssign: ">>=",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier spelling
+	Val  int64  // numeric value (milliseconds for time-suffixed literals)
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident:
+		return t.Text
+	case Number:
+		return fmt.Sprintf("%d", t.Val)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a compile error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

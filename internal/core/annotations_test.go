@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/sensors"
+	"repro/internal/timekeeper"
+	"repro/internal/vm"
+)
+
+// annotSrc exercises every annotation form: scalar @=, the if-form
+// @expires (no catch), the catch form, and @timely with an else arm.
+const annotSrc = `
+@expires_after=150 int reading;
+@expires_after=400 int slow;
+int consumed;
+int skipped;
+int caught;
+int onTime;
+int late;
+
+int main() {
+    int i;
+    for (i = 0; i < 12; i++) {
+        reading @= sense(4);
+        slow @= sense(3);
+        @expires(reading) {
+            consumed += 1;
+        }
+        @expires(slow) {
+            consumed += 1;
+        } catch {
+            caught += 1;
+        }
+        @timely(now() + 50) {
+            onTime += 1;
+        } else {
+            late += 1;
+        }
+    }
+    out(0, consumed);
+    out(1, caught);
+    out(2, onTime);
+    out(3, late);
+    return 0;
+}
+`
+
+func runAnnot(t *testing.T, p power.Source) vm.Result {
+	t.Helper()
+	img, cfg := buildTICS(t, annotSrc, core.Config{StackBytes: 2048})
+	rt, err := core.New(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(vm.Config{
+		Image: img, Runtime: rt, Power: p,
+		Clock:          &timekeeper.Perfect{},
+		Sensors:        sensors.NewBank(4),
+		AutoCpPeriodMs: 2,
+		MaxCycles:      500_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAnnotationsContinuous(t *testing.T) {
+	res := runAnnot(t, power.Continuous{})
+	if !res.Completed {
+		t.Fatalf("%+v", res)
+	}
+	// Continuous power: everything fresh and timely.
+	if res.OutLog[0][0] != 24 || res.OutLog[1][0] != 0 {
+		t.Fatalf("freshness under continuous power: %v", res.OutLog)
+	}
+	if res.OutLog[2][0] != 12 || res.OutLog[3][0] != 0 {
+		t.Fatalf("timeliness under continuous power: %v", res.OutLog)
+	}
+}
+
+// TestAnnotationsIntermittent: outages past both freshness windows force
+// the if-form to skip, the catch form to handle, and @timely to take the
+// else arm — and every counter must add up (nothing double-counted across
+// the restores).
+func TestAnnotationsIntermittent(t *testing.T) {
+	res := runAnnot(t, &power.FailEvery{Cycles: 12_000, OffMs: 500})
+	if !res.Completed {
+		t.Fatalf("%+v", res)
+	}
+	consumed := res.OutLog[0][0]
+	caught := res.OutLog[1][0]
+	onTime := res.OutLog[2][0]
+	late := res.OutLog[3][0]
+	// Each round contributes exactly one outcome per block.
+	if consumed+caught > 24 || onTime+late != 12 {
+		t.Fatalf("counters inconsistent: consumed=%d caught=%d onTime=%d late=%d",
+			consumed, caught, onTime, late)
+	}
+	if caught == 0 {
+		t.Fatalf("500 ms outages never expired the 400 ms data: %v", res.OutLog)
+	}
+	if res.Failures == 0 {
+		t.Fatal("no failures")
+	}
+}
+
+// TestExpiresIfFormSkips: the no-catch @expires form is the paper's
+// Figure 6 "catch data expiration" if-statement — stale data must skip the
+// block entirely, with no handler to run.
+func TestExpiresIfFormSkips(t *testing.T) {
+	res := runAnnot(t, &power.FailEvery{Cycles: 12_000, OffMs: 200})
+	if !res.Completed {
+		t.Fatalf("%+v", res)
+	}
+	// 200 ms outages expire `reading` (150 ms) but usually not `slow`
+	// (400 ms): the if-form must skip at least once while the catch form
+	// keeps consuming.
+	consumed := res.OutLog[0][0]
+	if consumed >= 24 {
+		t.Fatalf("nothing ever skipped: %v", res.OutLog)
+	}
+	if consumed == 0 {
+		t.Fatalf("everything skipped: %v", res.OutLog)
+	}
+}

@@ -1,0 +1,586 @@
+// Package core implements the TICS runtime — the paper's primary
+// contribution. It combines:
+//
+//   - Stack segmentation: the call stack lives in non-volatile memory as a
+//     fixed array of fixed-size segments; the program only ever touches the
+//     top ("working") segment, and only that segment is checkpointed,
+//     bounding checkpoint/restore time (paper §3.1.1).
+//   - Data versioning: instrumented stores whose target lies outside the
+//     working segment (globals, pointer writes into deeper segments) are
+//     write-ahead undo-logged; the log is cleared by a successful
+//     checkpoint and rolled back on reboot (paper §3.1.2).
+//   - Double-buffered checkpoints with an atomic commit: registers plus
+//     the working segment are written to the inactive slot, then a single
+//     word flip makes it the restore point (paper §4).
+//   - The time-annotation runtime: shadow timestamps, atomic @= blocks,
+//     and the restore-to-block-entry machinery behind @expires/catch
+//     (paper §3.2).
+//
+// All persistent runtime state lives inside the simulated non-volatile
+// memory, so a power failure at *any* cycle — including mid-checkpoint or
+// mid-log-append — exercises the real recovery protocol.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/link"
+	"repro/internal/vm"
+)
+
+// Config sizes the TICS runtime.
+type Config struct {
+	// SegmentBytes is the working-stack segment size (the paper's S1/S2
+	// axis). It must be at least Image.MinSegmentBytes() and a multiple of
+	// 4. Zero selects the minimum.
+	SegmentBytes int
+	// StackBytes is the total segment-array size (default 2048, the
+	// paper's configuration).
+	StackBytes int
+	// UndoCapBytes is the undo-log capacity (default 2048, as in the
+	// paper; a full log forces a checkpoint).
+	UndoCapBytes int
+	// DifferentialCheckpoints copies only the *used* part of the working
+	// segment (from SP to the segment top) instead of the whole segment.
+	// This is the differential-checkpoint idea the paper contrasts with
+	// ([3] in the paper): cheaper on shallow stacks, but the checkpoint
+	// time is no longer a fixed worst-case bound. Off by default — the
+	// fixed bound is TICS's design point. See the ablation benchmark.
+	DifferentialCheckpoints bool
+	// UndoBlockBytes selects the undo-log granularity: 0 or 4 logs the
+	// written word (the paper's design); a larger power of two logs the
+	// containing block once per checkpoint epoch, so repeated writes to a
+	// hot global skip the logging cost after the first. Trades bigger
+	// entries for fewer of them — see the ablation benchmark.
+	UndoBlockBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StackBytes == 0 {
+		c.StackBytes = 2048
+	}
+	if c.UndoCapBytes == 0 {
+		c.UndoCapBytes = 2048
+	}
+	if c.UndoBlockBytes == 0 {
+		c.UndoBlockBytes = 4
+	}
+	return c
+}
+
+// Modeled footprint of the runtime library itself, used only for the
+// Table 3 memory accounting (the runtime executes host-side here).
+const (
+	runtimeTextBytes = 2800
+	runtimeDataBytes = 96
+)
+
+const (
+	initMagic   = 0x54494353 // "TICS"
+	slotMetaLen = 8 * 4      // pc, sp, fp, rv, cpDisabled, workingSeg, epoch, usedBytes
+	segCtlLen   = 8          // growFrameFP, returnSP
+)
+
+// Spec returns the linker spec for a TICS build: the runtime-private area
+// holds the two checkpoint slots, the undo log, and the per-segment
+// control blocks.
+func Spec(cfg Config, minSegment int) link.RuntimeSpec {
+	cfg = cfg.withDefaults()
+	seg := cfg.SegmentBytes
+	if seg < minSegment {
+		seg = minSegment
+	}
+	seg = (seg + 3) &^ 3
+	nseg := cfg.StackBytes / seg
+	if nseg < 1 {
+		nseg = 1
+	}
+	rtBytes := 16 + 2*(slotMetaLen+seg) + cfg.UndoCapBytes + segCtlLen*nseg
+	return link.RuntimeSpec{
+		Name:           "tics",
+		RuntimeBytes:   rtBytes,
+		StackBytes:     nseg * seg,
+		ExtraTextBytes: runtimeTextBytes,
+		ExtraDataBytes: runtimeDataBytes + 2*(slotMetaLen+seg),
+	}
+}
+
+// TICS is the runtime. Volatile fields mirror non-volatile state for
+// speed; Boot re-derives every one of them from memory, so they are lost
+// safely at power failures.
+type TICS struct {
+	cfg Config
+	img *link.Image
+
+	segBytes int
+	segWords int
+	numSegs  int
+	undoCap  int // max entries
+
+	// Non-volatile layout (absolute addresses).
+	addrMagic   uint32
+	addrActive  uint32
+	addrUndoHdr uint32
+	addrSlot    [2]uint32 // meta, followed by the segment copy
+	addrUndo    uint32
+	addrSegCtl  uint32
+
+	undoEntrySize int // 8 bytes of header + the logged payload
+	blockBytes    int
+
+	// Volatile mirrors (re-read by Boot).
+	working int
+	active  int
+	epoch   uint32
+	undoLen int
+	// loggedBlocks dedups block-granularity log entries within one
+	// checkpoint epoch. Volatile: a failure empties the log (rollback), a
+	// checkpoint clears it, and Boot starts it fresh — all in sync.
+	loggedBlocks map[uint32]bool
+
+	stats map[string]int64
+}
+
+// New builds a TICS runtime for an image linked with Spec(cfg, ...).
+func New(img *link.Image, cfg Config) (*TICS, error) {
+	cfg = cfg.withDefaults()
+	minSeg := img.MinSegmentBytes()
+	if cfg.SegmentBytes == 0 {
+		cfg.SegmentBytes = minSeg
+	}
+	cfg.SegmentBytes = (cfg.SegmentBytes + 3) &^ 3
+	if cfg.SegmentBytes < minSeg {
+		return nil, fmt.Errorf("core: segment size %d B is below the program minimum %d B (largest function frame)",
+			cfg.SegmentBytes, minSeg)
+	}
+	switch cfg.UndoBlockBytes {
+	case 4, 8, 16, 32, 64:
+	default:
+		return nil, fmt.Errorf("core: undo block size %d B must be a power of two in [4,64]", cfg.UndoBlockBytes)
+	}
+	entrySize := 8 + cfg.UndoBlockBytes
+	t := &TICS{
+		cfg:           cfg,
+		img:           img,
+		segBytes:      cfg.SegmentBytes,
+		segWords:      cfg.SegmentBytes / 4,
+		numSegs:       int(img.StackLen) / cfg.SegmentBytes,
+		undoCap:       cfg.UndoCapBytes / entrySize,
+		undoEntrySize: entrySize,
+		blockBytes:    cfg.UndoBlockBytes,
+		loggedBlocks:  map[uint32]bool{},
+		stats:         map[string]int64{},
+	}
+	if t.numSegs < 1 {
+		return nil, fmt.Errorf("core: stack region of %d B holds no %d B segment", img.StackLen, cfg.SegmentBytes)
+	}
+	// Lay out the runtime area.
+	a := img.RuntimeBase
+	t.addrMagic = a
+	t.addrActive = a + 4
+	t.addrUndoHdr = a + 8
+	a += 16
+	t.addrSlot[0] = a
+	a += uint32(slotMetaLen + t.segBytes)
+	t.addrSlot[1] = a
+	a += uint32(slotMetaLen + t.segBytes)
+	t.addrUndo = a
+	a += uint32(t.undoCap * t.undoEntrySize)
+	t.addrSegCtl = a
+	a += uint32(segCtlLen * t.numSegs)
+	if a > img.RuntimeBase+img.RuntimeLen {
+		return nil, fmt.Errorf("core: runtime area too small: need %d B, have %d B (link with core.Spec)",
+			a-img.RuntimeBase, img.RuntimeLen)
+	}
+	return t, nil
+}
+
+// SegmentBytes returns the configured working-stack segment size.
+func (t *TICS) SegmentBytes() int { return t.segBytes }
+
+// NumSegments returns the segment-array length.
+func (t *TICS) NumSegments() int { return t.numSegs }
+
+// Name implements vm.Runtime.
+func (t *TICS) Name() string { return "tics" }
+
+// Stats implements vm.Runtime.
+func (t *TICS) Stats() map[string]int64 { return t.stats }
+
+// segTop returns one past the highest address of segment i (the stack
+// grows downward through the segment).
+func (t *TICS) segTop(i int) uint32 {
+	return t.img.StackBase + t.img.StackLen - uint32(i*t.segBytes)
+}
+
+// segBase returns the lowest address of segment i.
+func (t *TICS) segBase(i int) uint32 { return t.segTop(i) - uint32(t.segBytes) }
+
+func (t *TICS) inWorking(addr uint32, size int) bool {
+	return addr >= t.segBase(t.working) && addr+uint32(size) <= t.segTop(t.working)
+}
+
+// ---- Boot / restore ----
+
+// Boot implements vm.Runtime. On a cold boot (or if a failure killed the
+// very first checkpoint) it initializes the runtime area and takes the
+// initial checkpoint; otherwise it rolls back the undo log, restores the
+// checkpointed working segment and reloads the registers.
+func (t *TICS) Boot(m *vm.Machine, cold bool) error {
+	if cold || m.Mem.ReadWord(t.addrMagic) != initMagic {
+		return t.coldBoot(m)
+	}
+	return t.restore(m)
+}
+
+func (t *TICS) coldBoot(m *vm.Machine) error {
+	m.Spend(m.Cost.RestoreBase)
+	m.Mem.WriteWord(t.addrActive, 0)
+	m.Mem.WriteWord(t.addrUndoHdr, 0)
+	t.active = 0
+	t.epoch = 0
+	t.undoLen = 0
+	t.working = 0
+	m.Regs = vm.Registers{PC: t.img.EntryPC, SP: t.segTop(0), FP: t.segTop(0)}
+	m.CpDisable = 0
+	if err := t.Checkpoint(m, vm.CpManual); err != nil {
+		return err
+	}
+	m.Spend(m.Cost.NVWritePerWord)
+	m.Mem.WriteWord(t.addrMagic, initMagic)
+	return nil
+}
+
+func (t *TICS) restore(m *vm.Machine) error {
+	m.Spend(m.Cost.RestoreBase)
+	t.active = int(m.Mem.ReadWord(t.addrActive) & 1)
+	slot := t.addrSlot[t.active]
+	slotEpoch := m.Mem.ReadWord(slot + 24)
+	hdr := m.Mem.ReadWord(t.addrUndoHdr)
+	logEpoch, logLen := hdr>>16, int(hdr&0xFFFF)
+	if logEpoch == slotEpoch&0xFFFF {
+		// Entries were appended after the active checkpoint: roll back.
+		t.rollback(m, logLen)
+	}
+	// Either way the log is now logically empty for the slot's epoch.
+	m.Spend(m.Cost.NVWritePerWord)
+	m.Mem.WriteWord(t.addrUndoHdr, (slotEpoch&0xFFFF)<<16)
+	t.epoch = slotEpoch
+	t.undoLen = 0
+
+	// Restore the checkpointed working segment (only the part the
+	// checkpoint captured; a differential checkpoint saved just the used
+	// tail, and nothing below the saved SP is live).
+	t.working = int(m.Mem.ReadWord(slot + 20))
+	used := int(m.Mem.ReadWord(slot + 28))
+	if used <= 0 || used > t.segBytes {
+		used = t.segBytes
+	}
+	startWord := (t.segBytes - used) / 4
+	for w := startWord; w < t.segWords; w++ {
+		m.Spend(m.Cost.NVReadPerWord + m.Cost.NVWritePerWord)
+		v := m.Mem.ReadWord(slot + uint32(slotMetaLen+4*w))
+		m.Mem.WriteWord(t.segBase(t.working)+uint32(4*w), v)
+	}
+	t.resetLogged()
+	m.Regs = vm.Registers{
+		PC: m.Mem.ReadWord(slot + 0),
+		SP: m.Mem.ReadWord(slot + 4),
+		FP: m.Mem.ReadWord(slot + 8),
+		RV: m.Mem.ReadWord(slot + 12),
+	}
+	m.CpDisable = int(m.Mem.ReadWord(slot + 16))
+	m.NoteRestore()
+	t.stats["restores"]++
+	return nil
+}
+
+// rollback undoes logged stores newest-first. It is idempotent: a failure
+// mid-rollback re-runs it from the same log on the next boot.
+func (t *TICS) rollback(m *vm.Machine, n int) {
+	for i := n - 1; i >= 0; i-- {
+		m.Spend(m.Cost.UndoRollback)
+		e := t.addrUndo + uint32(i*t.undoEntrySize)
+		addr := m.Mem.ReadWord(e)
+		size := int(m.Mem.ReadWord(e + 4))
+		switch {
+		case size == 1:
+			m.Mem.WriteByteAt(addr, byte(m.Mem.ReadWord(e+8)))
+		case size <= 4:
+			m.Mem.WriteWord(addr, m.Mem.ReadWord(e+8))
+		default: // block entry
+			for off := 0; off < size; off += 4 {
+				if off > 0 {
+					m.Spend(m.Cost.NVReadPerWord + m.Cost.NVWritePerWord)
+				}
+				m.Mem.WriteWord(addr+uint32(off), m.Mem.ReadWord(e+8+uint32(off)))
+			}
+		}
+		t.stats["undo-rollbacks"]++
+	}
+}
+
+// resetLogged clears the volatile block-dedup set (in lockstep with the
+// undo log itself).
+func (t *TICS) resetLogged() {
+	if len(t.loggedBlocks) > 0 {
+		t.loggedBlocks = map[uint32]bool{}
+	}
+}
+
+// ---- Checkpoint ----
+
+// Checkpoint implements vm.Runtime: a two-phase commit of the register
+// file and the working segment into the inactive slot, finished by an
+// atomic flip of the active-slot word, after which the undo log is reset
+// under the new epoch.
+func (t *TICS) Checkpoint(m *vm.Machine, kind vm.CpKind) error {
+	if kind == vm.CpTimer && m.CpDisabled() {
+		return nil
+	}
+	m.Spend(m.Cost.CheckpointBase)
+	target := 1 - t.active
+	slot := t.addrSlot[target]
+	newEpoch := t.epoch + 1
+	m.Spend(7 * m.Cost.NVWritePerWord)
+	m.Mem.WriteWord(slot+0, m.Regs.PC)
+	m.Mem.WriteWord(slot+4, m.Regs.SP)
+	m.Mem.WriteWord(slot+8, m.Regs.FP)
+	m.Mem.WriteWord(slot+12, m.Regs.RV)
+	m.Mem.WriteWord(slot+16, uint32(m.CpDisable))
+	m.Mem.WriteWord(slot+20, uint32(t.working))
+	m.Mem.WriteWord(slot+24, newEpoch)
+	// How much of the segment to capture: everything (fixed worst-case
+	// bound, the paper's design) or just the used tail above SP
+	// (differential checkpoints — cheaper, but variable).
+	used := t.segBytes
+	if t.cfg.DifferentialCheckpoints {
+		top := t.segTop(t.working)
+		if m.Regs.SP <= top && m.Regs.SP >= t.segBase(t.working) {
+			used = int(top - m.Regs.SP)
+		}
+		if used == 0 {
+			used = 4
+		}
+	}
+	m.Mem.WriteWord(slot+28, uint32(used))
+	// Copy the captured part (charged as the two-phase copy).
+	base := t.segBase(t.working)
+	for w := (t.segBytes - used) / 4; w < t.segWords; w++ {
+		m.Spend(2 * (m.Cost.NVReadPerWord + m.Cost.NVWritePerWord))
+		m.Mem.WriteWord(slot+uint32(slotMetaLen+4*w), m.Mem.ReadWord(base+uint32(4*w)))
+	}
+	// Atomic commit.
+	m.Spend(m.Cost.NVWritePerWord)
+	m.Mem.WriteWord(t.addrActive, uint32(target))
+	t.active = target
+	// Reset the undo log under the new epoch (single-word write).
+	m.Spend(m.Cost.NVWritePerWord)
+	m.Mem.WriteWord(t.addrUndoHdr, (newEpoch&0xFFFF)<<16)
+	t.epoch = newEpoch
+	t.undoLen = 0
+	t.resetLogged()
+	m.NoteCheckpoint(kind)
+	t.stats["checkpoints"]++
+	return nil
+}
+
+// ---- Memory consistency management ----
+
+// PreStore implements vm.Runtime: a full undo log forces a checkpoint
+// *before* the store instruction executes, so the checkpoint's PC
+// re-executes the whole store on restore and the cleared log has room for
+// its entry (paper §3.1.2: "TICS forces a checkpoint when the undo log is
+// full to eliminate the overflow and ensure forward progress").
+func (t *TICS) PreStore(m *vm.Machine) error {
+	if t.undoLen < t.undoCap {
+		return nil
+	}
+	if m.CpDisabled() {
+		m.Fault("undo log exhausted inside an atomic time-annotation block")
+	}
+	t.stats["forced-checkpoints"]++
+	return t.Checkpoint(m, vm.CpManual)
+}
+
+// LoggedStore implements vm.Runtime: the paper's instrumented store. A
+// store inside the working segment needs no versioning (the segment
+// checkpoint covers it); anything else is write-ahead undo-logged.
+func (t *TICS) LoggedStore(m *vm.Machine, addr uint32, size int, value uint32) error {
+	m.Spend(m.Cost.PtrCheck)
+	if t.inWorking(addr, size) {
+		m.RawStore(addr, size, value)
+		t.stats["stores-direct"]++
+		return nil
+	}
+	if t.blockBytes > 4 {
+		// Block granularity: log the containing block once per epoch;
+		// later writes to the same block skip straight to the store.
+		block := addr &^ uint32(t.blockBytes-1)
+		if t.loggedBlocks[block] {
+			m.RawStore(addr, size, value)
+			t.stats["stores-block-hit"]++
+			return nil
+		}
+		if t.undoLen >= t.undoCap {
+			m.Fault("undo log overflow") // PreStore should have checkpointed
+		}
+		m.Spend(m.Cost.UndoLogEntry)
+		e := t.addrUndo + uint32(t.undoLen*t.undoEntrySize)
+		m.Mem.WriteWord(e, block)
+		m.Mem.WriteWord(e+4, uint32(t.blockBytes))
+		for off := 0; off < t.blockBytes; off += 4 {
+			if off > 0 {
+				m.Spend(m.Cost.NVReadPerWord + m.Cost.NVWritePerWord)
+			}
+			m.Mem.WriteWord(e+8+uint32(off), m.Mem.ReadWord(block+uint32(off)))
+		}
+		t.undoLen++
+		m.Mem.WriteWord(t.addrUndoHdr, (t.epoch&0xFFFF)<<16|uint32(t.undoLen))
+		t.loggedBlocks[block] = true
+		m.RawStore(addr, size, value)
+		t.stats["stores-logged"]++
+		return nil
+	}
+	if t.undoLen >= t.undoCap {
+		m.Fault("undo log overflow") // PreStore should have checkpointed
+	}
+	m.Spend(m.Cost.UndoLogEntry)
+	var old uint32
+	if size == 1 {
+		old = uint32(m.Mem.ReadByteAt(addr))
+	} else {
+		old = m.Mem.ReadWord(addr)
+	}
+	e := t.addrUndo + uint32(t.undoLen*t.undoEntrySize)
+	m.Mem.WriteWord(e, addr)
+	m.Mem.WriteWord(e+4, uint32(size))
+	m.Mem.WriteWord(e+8, old)
+	// Commit the entry by bumping the count (atomic single-word write),
+	// then perform the program's store.
+	t.undoLen++
+	m.Mem.WriteWord(t.addrUndoHdr, (t.epoch&0xFFFF)<<16|uint32(t.undoLen))
+	m.RawStore(addr, size, value)
+	t.stats["stores-logged"]++
+	return nil
+}
+
+// ---- Stack segmentation ----
+
+// Enter implements vm.Runtime. The machine has already advanced PC past
+// the Enter instruction, so a checkpoint taken here resumes with the frame
+// set up.
+func (t *TICS) Enter(m *vm.Machine, fn int) error {
+	meta, err := t.img.FuncAt(fn)
+	if err != nil {
+		return err
+	}
+	if m.Regs.SP < uint32(meta.FrameBytes) || m.Regs.SP-uint32(meta.FrameBytes) < t.segBase(t.working) {
+		// Stack grow: switch the working stack to the next segment,
+		// moving the return PC and the on-stack arguments with it.
+		if t.working+1 >= t.numSegs {
+			m.Fault("segment array exhausted entering %s (%d segments of %d B)", meta.Name, t.numSegs, t.segBytes)
+		}
+		m.Spend(m.Cost.StackGrow)
+		copyBytes := meta.EntryCopyBytes
+		oldSP := m.Regs.SP
+		newSP := t.segTop(t.working+1) - uint32(copyBytes)
+		for off := 0; off < copyBytes; off += 4 {
+			m.Spend(m.Cost.NVReadPerWord + m.Cost.NVWritePerWord)
+			m.Mem.WriteWord(newSP+uint32(off), m.Mem.ReadWord(oldSP+uint32(off)))
+		}
+		t.working++
+		ctl := t.addrSegCtl + uint32(t.working*segCtlLen)
+		m.Spend(2 * m.Cost.NVWritePerWord)
+		m.Mem.WriteWord(ctl+4, oldSP) // caller SP at the call site
+		m.Regs.SP = newSP
+		m.Push(m.Regs.FP)
+		m.Mem.WriteWord(ctl, m.Regs.SP) // grow-frame FP marker
+		m.Regs.FP = m.Regs.SP
+		m.Regs.SP -= uint32(meta.LocalBytes)
+		t.stats["stack-grows"]++
+		// Inside an atomic time-annotation block the restore point must
+		// stay at the block entry (paper §3.2.3: "computation starts from
+		// the if statement after each power failure"), so the stack-change
+		// checkpoint is suppressed; the block-entry checkpoint's segment
+		// copy plus the undo log still cover every write for rollback.
+		if m.CpDisabled() {
+			t.stats["suppressed-grow-cps"]++
+			return nil
+		}
+		return t.Checkpoint(m, vm.CpStackGrow)
+	}
+	m.Push(m.Regs.FP)
+	m.Regs.FP = m.Regs.SP
+	m.Regs.SP -= uint32(meta.LocalBytes)
+	return nil
+}
+
+// Leave implements vm.Runtime: the epilogue, plus the stack shrink and the
+// enforced checkpoint when the returning frame is the one that grew the
+// working stack (paper Figure 7, steps 3–4).
+func (t *TICS) Leave(m *vm.Machine) error {
+	growFP := uint32(0)
+	if t.working > 0 {
+		growFP = m.Mem.ReadWord(t.addrSegCtl + uint32(t.working*segCtlLen))
+	}
+	isGrowFrame := t.working > 0 && growFP == m.Regs.FP
+	m.Regs.SP = m.Regs.FP
+	m.Regs.FP = m.Pop()
+	ret := m.Pop()
+	if isGrowFrame {
+		m.Spend(m.Cost.StackShrink)
+		callerSP := m.Mem.ReadWord(t.addrSegCtl + uint32(t.working*segCtlLen) + 4)
+		t.working--
+		m.Regs.SP = callerSP + 4 // the caller's stack with the return PC popped
+		m.Regs.PC = ret
+		t.stats["stack-shrinks"]++
+		if m.CpDisabled() {
+			t.stats["suppressed-shrink-cps"]++
+			return nil
+		}
+		return t.Checkpoint(m, vm.CpStackShrink)
+	}
+	m.Regs.PC = ret
+	return nil
+}
+
+// ---- Timely execution ----
+
+// OnExpiry implements vm.Runtime: the exception-based @expires/catch.
+// Expiration restores the block-entry checkpoint (undo rollback + segment
+// + registers); re-executing the ExpCatch check then branches into the
+// catch handler because the data is now stale (paper §3.2.3).
+func (t *TICS) OnExpiry(m *vm.Machine) error {
+	t.stats["expiry-restores"]++
+	return t.restore(m)
+}
+
+// Transition implements vm.Runtime: TICS is not a task-based system.
+func (t *TICS) Transition(m *vm.Machine, task int32) error {
+	m.Fault("transition_to(%d): TICS runs legacy code, not task graphs", task)
+	return nil
+}
+
+// OnInterrupt implements vm.Runtime (paper §4): "TICS disables (automatic)
+// checkpoints before interrupt service routines". The transfer itself is
+// call-like; a power failure before the ISR completes restores the
+// pre-interrupt checkpoint, so the interrupt simply never happened.
+func (t *TICS) OnInterrupt(m *vm.Machine, isrEntry uint32) error {
+	m.CpDisable++
+	m.Push(m.Regs.PC)
+	m.Regs.PC = isrEntry
+	t.stats["interrupts"]++
+	return nil
+}
+
+// OnInterruptReturn implements vm.Runtime (paper §4): "places an implicit
+// checkpoint right after the return-from-interrupt instruction", which
+// commits the ISR's effects exactly once.
+func (t *TICS) OnInterruptReturn(m *vm.Machine) error {
+	if m.CpDisable > 0 {
+		m.CpDisable--
+	}
+	t.stats["isr-checkpoints"]++
+	return t.Checkpoint(m, vm.CpManual)
+}

@@ -1,0 +1,65 @@
+package energy_test
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+)
+
+func TestCheckpointCostMonotone(t *testing.T) {
+	c := energy.Default()
+	prev := int64(-1)
+	for _, size := range []int{0, 16, 64, 256, 1024} {
+		cost := c.CheckpointCost(size)
+		if cost <= prev {
+			t.Fatalf("checkpoint cost not monotone at %d B: %d <= %d", size, cost, prev)
+		}
+		prev = cost
+	}
+	if c.CheckpointCost(0) != c.CheckpointBase {
+		t.Fatalf("empty checkpoint cost %d != base %d", c.CheckpointCost(0), c.CheckpointBase)
+	}
+	if c.RestoreCost(64) <= c.RestoreBase {
+		t.Fatal("restore cost ignores payload")
+	}
+}
+
+func TestTable4Calibration(t *testing.T) {
+	// The defaults are calibrated so that the logged-store and rollback
+	// costs land on the paper's Table 4 values.
+	c := energy.Default()
+	if got := c.PtrCheck; got != 13 {
+		t.Fatalf("unlogged pointer access %d, paper says 13", got)
+	}
+	if got := c.PtrCheck + c.UndoLogEntry; got != 308 {
+		t.Fatalf("logged pointer store %d, paper says 308", got)
+	}
+	if c.UndoRollback != 234 {
+		t.Fatalf("rollback %d, paper says 234", c.UndoRollback)
+	}
+	if c.StackGrow != 345 || c.StackShrink != 345 {
+		t.Fatalf("grow/shrink %d/%d, paper says 345", c.StackGrow, c.StackShrink)
+	}
+}
+
+func TestCapacitor(t *testing.T) {
+	cap := energy.NewCapacitor(1000)
+	if cap.Usable() != 0 {
+		t.Fatal("fresh capacitor should be empty")
+	}
+	ms := cap.ChargeUntilOn(10) // needs 900 units at 10/ms
+	if ms != 90 {
+		t.Fatalf("charge time %f", ms)
+	}
+	usable := cap.Usable()
+	if usable != int64(900-50) { // on level minus off level
+		t.Fatalf("usable %d", usable)
+	}
+	cap.Drain(usable)
+	if cap.Usable() != 0 {
+		t.Fatal("drain did not reach the off level")
+	}
+	if again := cap.ChargeUntilOn(10); again <= 0 {
+		t.Fatal("recharge should take time")
+	}
+}

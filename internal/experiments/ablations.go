@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	tics "repro"
+	"repro/internal/apps"
+	"repro/internal/power"
+	"repro/internal/sensors"
+	"repro/internal/timekeeper"
+)
+
+// AblationPoint is one configuration's outcome in an ablation sweep.
+type AblationPoint struct {
+	Study       string
+	Config      string
+	Cycles      int64
+	Checkpoints int64
+	Extra       map[string]int64
+}
+
+// Ablations renders the design-choice studies DESIGN.md calls out, as
+// tables (the benchmark forms live in bench_test.go):
+//
+//   - working-stack segment size (the S1/S2 trade-off) on BC,
+//   - checkpoint placement policy on CF,
+//   - undo-log granularity (word vs block+dedup) on CF,
+//   - fixed vs differential checkpoints on BC,
+//   - persistent-clock error model vs AR freshness decisions.
+func Ablations() (Report, error) {
+	var points []AblationPoint
+	var b strings.Builder
+	b.WriteString("Ablations — the design choices behind TICS, isolated.\n")
+
+	record := func(study, config string, cycles, cps int64, extra map[string]int64) {
+		points = append(points, AblationPoint{Study: study, Config: config, Cycles: cycles, Checkpoints: cps, Extra: extra})
+	}
+
+	runIntermittent := func(src string, opts tics.BuildOptions, cpMs float64, failK int64) (int64, int64, map[string]int64, error) {
+		img, err := tics.Build(src, opts)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		m, err := tics.NewMachine(img, tics.RunOptions{
+			Power:          &power.FailEvery{Cycles: failK, OffMs: 10},
+			Sensors:        sensors.NewBank(3),
+			AutoCpPeriodMs: cpMs,
+			MaxCycles:      500_000_000,
+		})
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		res, err := m.Run()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if !res.Completed {
+			return res.Cycles, res.TotalCheckpoints, res.RuntimeStats, fmt.Errorf("did not complete (starved=%v)", res.Starved)
+		}
+		return res.Cycles, res.TotalCheckpoints, res.RuntimeStats, nil
+	}
+
+	// --- Segment size (BC, intermittent) ---
+	b.WriteString("\n[segment size] BC under fail-every-30k cycles (+10 ms timer)\n")
+	tbl := &table{header: []string{"segment (B)", "cycles", "checkpoints"}}
+	prog, err := tics.Compile(apps.BC().Source, 2)
+	if err != nil {
+		return Report{}, err
+	}
+	for _, seg := range []int{prog.MinSegmentBytes(), 128, 256, 512} {
+		cycles, cps, _, err := runIntermittent(apps.BC().Source,
+			tics.BuildOptions{Runtime: tics.RTTICS, SegmentBytes: seg, StackBytes: 2048}, 10, 30_000)
+		if err != nil {
+			return Report{}, fmt.Errorf("segment %d: %w", seg, err)
+		}
+		record("segment-size", fmt.Sprintf("%dB", seg), cycles, cps, nil)
+		tbl.add(fmt.Sprintf("%d", seg), fmt.Sprintf("%d", cycles), fmt.Sprintf("%d", cps))
+	}
+	b.WriteString(tbl.String())
+
+	// --- Checkpoint placement policy (CF) ---
+	b.WriteString("\n[checkpoint policy] CF under fail-every-25k cycles\n")
+	tbl = &table{header: []string{"policy", "cycles", "checkpoints"}}
+	for _, c := range []struct {
+		name    string
+		kind    tics.RuntimeKind
+		segment int
+		timerMs float64
+	}{
+		{"stack-change only", tics.RTTICS, 0, 0},
+		{"timer only (512B seg)", tics.RTTICS, 512, 10},
+		{"stack-change + timer", tics.RTTICS, 0, 10},
+		{"task-boundary (ST)", tics.RTTICSTask, 512, 10},
+	} {
+		cycles, cps, _, err := runIntermittent(apps.CF().Source,
+			tics.BuildOptions{Runtime: c.kind, SegmentBytes: c.segment, StackBytes: 2048}, c.timerMs, 25_000)
+		if err != nil {
+			return Report{}, fmt.Errorf("policy %s: %w", c.name, err)
+		}
+		record("checkpoint-policy", c.name, cycles, cps, nil)
+		tbl.add(c.name, fmt.Sprintf("%d", cycles), fmt.Sprintf("%d", cps))
+	}
+	b.WriteString(tbl.String())
+
+	// --- Undo-log granularity (CF, continuous: isolates logging cost) ---
+	b.WriteString("\n[undo granularity] CF, continuous power (+10 ms timer)\n")
+	tbl = &table{header: []string{"block", "cycles", "logged stores", "dedup hits"}}
+	for _, block := range []int{4, 16, 32} {
+		img, err := tics.Build(apps.CF().Source, tics.BuildOptions{
+			Runtime: tics.RTTICS, SegmentBytes: 512, StackBytes: 2048, UndoBlockBytes: block,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		m, err := tics.NewMachine(img, tics.RunOptions{AutoCpPeriodMs: 10})
+		if err != nil {
+			return Report{}, err
+		}
+		res, err := m.Run()
+		if err != nil || !res.Completed {
+			return Report{}, fmt.Errorf("block %d: %v %+v", block, err, res.Completed)
+		}
+		extra := map[string]int64{
+			"logged": res.RuntimeStats["stores-logged"],
+			"dedup":  res.RuntimeStats["stores-block-hit"],
+		}
+		record("undo-granularity", fmt.Sprintf("%dB", block), res.Cycles, res.TotalCheckpoints, extra)
+		tbl.add(fmt.Sprintf("%d B", block), fmt.Sprintf("%d", res.Cycles),
+			fmt.Sprintf("%d", extra["logged"]), fmt.Sprintf("%d", extra["dedup"]))
+	}
+	b.WriteString(tbl.String())
+	b.WriteString("(bigger blocks: a hot global pays the 308-cycle logging cost once per epoch)\n")
+
+	// --- Fixed vs differential checkpoints (BC, intermittent) ---
+	b.WriteString("\n[differential checkpoints] BC, 512B segments, fail-every-30k (+5 ms timer)\n")
+	tbl = &table{header: []string{"mode", "cycles", "checkpoints"}}
+	for _, diff := range []bool{false, true} {
+		name := "fixed (whole segment)"
+		if diff {
+			name = "differential (used tail)"
+		}
+		cycles, cps, _, err := runIntermittent(apps.BC().Source, tics.BuildOptions{
+			Runtime: tics.RTTICS, SegmentBytes: 512, StackBytes: 2048, DifferentialCheckpoints: diff,
+		}, 5, 30_000)
+		if err != nil {
+			return Report{}, fmt.Errorf("differential=%v: %w", diff, err)
+		}
+		record("differential", name, cycles, cps, nil)
+		tbl.add(name, fmt.Sprintf("%d", cycles), fmt.Sprintf("%d", cps))
+	}
+	b.WriteString(tbl.String())
+	b.WriteString("(differential is cheaper on shallow stacks but forfeits the fixed worst-case bound)\n")
+
+	// --- Timekeeper error model (AR freshness decisions) ---
+	b.WriteString("\n[timekeeper] AR on harvested power: committed freshness decisions per clock\n")
+	tbl = &table{header: []string{"clock", "fresh windows", "stale discarded"}}
+	img, err := tics.Build(apps.AR().Source, tics.BuildOptions{Runtime: tics.RTTICS})
+	if err != nil {
+		return Report{}, err
+	}
+	for _, c := range []struct {
+		name string
+		mk   func() timekeeper.Keeper
+	}{
+		{"perfect", func() timekeeper.Keeper { return &timekeeper.Perfect{} }},
+		{"rtc 10 ms", func() timekeeper.Keeper { return &timekeeper.RTC{ResolutionMs: 10} }},
+		{"remanence ±10%", func() timekeeper.Keeper { return timekeeper.NewRemanence(0.1, 5000, 3) }},
+		{"remanence ±50%", func() timekeeper.Keeper { return timekeeper.NewRemanence(0.5, 5000, 3) }},
+	} {
+		m, err := tics.NewMachine(img, tics.RunOptions{
+			Power:          power.NewHarvester(40_000, 450, 0.8, 8),
+			Clock:          c.mk(),
+			Sensors:        sensors.NewBank(8),
+			AutoCpPeriodMs: 10,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		res, err := m.Run()
+		if err != nil || !res.Completed {
+			return Report{}, fmt.Errorf("clock %s: %v", c.name, err)
+		}
+		fresh, stale := at(res.MarkCounts, 3), at(res.MarkCounts, 4)
+		record("timekeeper", c.name, res.Cycles, res.TotalCheckpoints,
+			map[string]int64{"fresh": fresh, "stale": stale})
+		tbl.add(c.name, fmt.Sprintf("%d", fresh), fmt.Sprintf("%d", stale))
+	}
+	b.WriteString(tbl.String())
+	b.WriteString("(a sloppy remanence timer misjudges outages, flipping freshness verdicts)\n")
+
+	return Report{
+		ID:    "ablations",
+		Title: "Design-choice ablation studies",
+		Text:  b.String(),
+		Data:  map[string]any{"points": points},
+	}, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	tics "repro"
+	"repro/internal/apps"
+)
+
+// Table3Cell is one (app, runtime) memory measurement in bytes.
+type Table3Cell struct {
+	App     string
+	Runtime string
+	Text    int
+	Data    int // initialized + zero-initialized (RAM image) + runtime buffers
+	Err     string
+}
+
+// Table3 reproduces the memory-consumption comparison: .text and .data
+// footprints of AR, BC and CF under InK (task port), Chinchilla
+// (static-promotion build; BC needs its hand-derecursed variant, exactly
+// as the paper notes) and TICS. The expected shape: Chinchilla's
+// local-to-global promotion and double buffering dominate both sections;
+// TICS's .data stays small because only the working segment and touched
+// globals are double-buffered.
+func Table3() (Report, error) {
+	benches := []apps.App{apps.AR(), apps.BC(), apps.CF()}
+	tbl := &table{header: []string{"app", "runtime", ".text (B)", ".data (B)"}}
+	var cells []Table3Cell
+
+	measure := func(appName, label, src string, opts tics.BuildOptions) {
+		img, err := tics.Build(src, opts)
+		cell := Table3Cell{App: appName, Runtime: label}
+		if err != nil {
+			cell.Err = err.Error()
+			tbl.add(appName, label, "✗", "✗")
+		} else {
+			cell.Text = img.Sect.Text
+			cell.Data = img.Sect.Data + img.Sect.BSS
+			tbl.add(appName, label, fmt.Sprintf("%d", cell.Text), fmt.Sprintf("%d", cell.Data))
+		}
+		cells = append(cells, cell)
+	}
+
+	for _, app := range benches {
+		measure(app.Name, "InK", app.TaskSource,
+			tics.BuildOptions{Runtime: tics.RTInK, Tasks: app.Tasks, Edges: app.Edges})
+		chinSrc := app.Source
+		chinName := app.Name
+		if app.Name == "bc" {
+			chinSrc = apps.BCNoRecursion().Source // the paper's hand-modified BC
+			chinName = "bc*"
+		}
+		measure(chinName, "Chinchilla", chinSrc, tics.BuildOptions{Runtime: tics.RTChinchilla})
+		measure(app.Name, "TICS", app.Source, tics.BuildOptions{Runtime: tics.RTTICS})
+	}
+
+	text := "Table 3 — memory consumption per application and runtime.\n" +
+		"(.data column = initialized + zero-initialized globals + the runtime's\n" +
+		"static buffers; bc* is the hand-derecursed BC Chinchilla requires.)\n" +
+		"Paper shape: Chinchilla ≫ TICS on both sections; TICS .data well under InK's.\n\n" +
+		tbl.String()
+	return Report{
+		ID:    "table3",
+		Title: "Memory consumption (InK / Chinchilla / TICS)",
+		Text:  text,
+		Data:  map[string]any{"cells": cells},
+	}, nil
+}

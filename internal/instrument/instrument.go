@@ -1,0 +1,140 @@
+// Package instrument rewrites compiled programs for a target runtime,
+// playing the role of the paper's LLVM LibTooling source pass plus the
+// GCC back-end pass. It can redirect stores through a runtime's memory
+// consistency manager (TICS undo logging, Chinchilla static logging, task
+// privatization) and insert checkpoint trigger points (loop back-edges and
+// call sites, the classic Mementos/Chinchilla placement), or checkpoints
+// at task-boundary markers (the paper's ST configuration).
+package instrument
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/isa"
+)
+
+// Pass describes one instrumentation.
+type Pass struct {
+	// LogStores rewrites every plain store opcode into its instrumented
+	// variant so the runtime's LoggedStore hook sees it.
+	LogStores bool
+	// CheckpointAtBackEdges inserts a Chkpt before every backward branch
+	// (loop trigger points).
+	CheckpointAtBackEdges bool
+	// CheckpointAtCalls inserts a Chkpt before every Call.
+	CheckpointAtCalls bool
+	// CheckpointAtMarks inserts a Chkpt before every Mark — the paper's ST
+	// configuration (checkpoints at task boundaries).
+	CheckpointAtMarks bool
+}
+
+// ForTICS returns the standard TICS pass.
+func ForTICS() Pass { return Pass{LogStores: true} }
+
+// ForTICSTaskBoundary returns the paper's ST configuration: TICS with
+// additional checkpoints at the logical task boundaries.
+func ForTICSTaskBoundary() Pass { return Pass{LogStores: true, CheckpointAtMarks: true} }
+
+// ForMementos returns the naive-checkpointing pass: trigger points at loop
+// back-edges and calls; stores stay raw (full-state checkpoints provide
+// consistency).
+func ForMementos() Pass { return Pass{CheckpointAtBackEdges: true, CheckpointAtCalls: true} }
+
+// ForChinchilla returns the Chinchilla pass: logged stores into the static
+// double buffer plus dense trigger points.
+func ForChinchilla() Pass {
+	return Pass{LogStores: true, CheckpointAtBackEdges: true, CheckpointAtCalls: true}
+}
+
+// ForTask returns the task-runtime pass: stores are routed through the
+// runtime for privatization; no checkpoints are inserted (task transitions
+// are the commit points).
+func ForTask() Pass { return Pass{LogStores: true} }
+
+// Apply rewrites prog in place and returns it. Branch immediates (already
+// function-relative byte offsets) and relocation indices are remapped
+// around inserted instructions.
+func Apply(prog *cc.Program, pass Pass) (*cc.Program, error) {
+	for _, f := range prog.Funcs {
+		if err := applyFunc(f, pass); err != nil {
+			return nil, fmt.Errorf("instrument: %s: %w", f.Name, err)
+		}
+	}
+	return prog, nil
+}
+
+func isBranch(op isa.Op) bool {
+	switch op {
+	case isa.Jmp, isa.Jz, isa.Jnz, isa.ExpBegin, isa.ExpCatch, isa.Timely:
+		return true
+	}
+	return false
+}
+
+func applyFunc(f *cc.Func, pass Pass) error {
+	// Old byte offset of each instruction.
+	oldOff := make([]int, len(f.Code)+1)
+	for i, in := range f.Code {
+		oldOff[i+1] = oldOff[i] + in.Size()
+	}
+	branchReloc := map[int]bool{}
+	for _, r := range f.Relocs {
+		if r.Kind == cc.RelocBranch {
+			branchReloc[r.Instr] = true
+		}
+	}
+
+	var out []isa.Instr
+	newIdx := make([]int, len(f.Code)) // old instr index → new instr index
+	for i, in := range f.Code {
+		insertCp := false
+		switch {
+		case pass.CheckpointAtMarks && in.Op == isa.Mark:
+			insertCp = true
+		case pass.CheckpointAtCalls && in.Op == isa.Call:
+			insertCp = true
+		case pass.CheckpointAtBackEdges && isBranch(in.Op) && branchReloc[i] && int(in.Imm) <= oldOff[i]:
+			insertCp = true
+		}
+		if insertCp {
+			out = append(out, isa.Instr{Op: isa.Chkpt})
+		}
+		if pass.LogStores {
+			in.Op = isa.Logged(in.Op)
+		}
+		newIdx[i] = len(out)
+		out = append(out, in)
+	}
+
+	// New byte offsets and the old→new offset map for branch targets.
+	newOff := make([]int, len(out)+1)
+	for i, in := range out {
+		newOff[i+1] = newOff[i] + in.Size()
+	}
+	offMap := map[int]int{}
+	for i := range f.Code {
+		offMap[oldOff[i]] = newOff[newIdx[i]]
+	}
+
+	// Remap relocations and branch immediates.
+	var relocs []cc.Reloc
+	for _, r := range f.Relocs {
+		r.Instr = newIdx[r.Instr]
+		relocs = append(relocs, r)
+	}
+	for _, r := range relocs {
+		if r.Kind != cc.RelocBranch {
+			continue
+		}
+		in := &out[r.Instr]
+		mapped, ok := offMap[int(in.Imm)]
+		if !ok {
+			return fmt.Errorf("branch target %d is not an instruction boundary", in.Imm)
+		}
+		in.Imm = int32(mapped)
+	}
+	f.Code = out
+	f.Relocs = relocs
+	return nil
+}

@@ -1,0 +1,26 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a text section as human-readable assembly, one
+// instruction per line, prefixed with the absolute address (the section's
+// base plus the instruction offset). labels maps absolute addresses to
+// symbolic names (function entries) that are printed before their line.
+func Disassemble(code []byte, base uint32, labels map[uint32]string) (string, error) {
+	instrs, offs, err := DecodeAll(code)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, in := range instrs {
+		addr := base + uint32(offs[i])
+		if name, ok := labels[addr]; ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "  %#06x  %s\n", addr, in)
+	}
+	return b.String(), nil
+}

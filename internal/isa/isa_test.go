@@ -1,0 +1,92 @@
+package isa_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// TestEncodeDecodeRoundTrip is a property test over random instructions.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	check := func(opRaw byte, imm int32) bool {
+		op := isa.Op(int(opRaw) % isa.NumOps)
+		in := isa.Instr{Op: op}
+		if isa.Lookup(op).HasImm {
+			in.Imm = imm
+		}
+		buf := in.Encode(nil)
+		if len(buf) != in.Size() {
+			return false
+		}
+		got, next, err := isa.Decode(buf, 0)
+		return err == nil && next == len(buf) && got == in
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := isa.Decode([]byte{255}, 0); err == nil {
+		t.Fatal("undefined opcode accepted")
+	}
+	if _, _, err := isa.Decode([]byte{byte(isa.PushI), 1, 2}, 0); err == nil {
+		t.Fatal("truncated immediate accepted")
+	}
+	if _, _, err := isa.Decode(nil, 0); err == nil {
+		t.Fatal("empty decode accepted")
+	}
+}
+
+func TestLoggedUnloggedInverse(t *testing.T) {
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		logged := isa.Logged(op)
+		if logged != op {
+			if isa.Unlogged(logged) != op {
+				t.Fatalf("Unlogged(Logged(%s)) != %s", op, op)
+			}
+			if !isa.IsStore(op) || !isa.IsStore(logged) {
+				t.Fatalf("%s should be a store", op)
+			}
+		}
+	}
+	if isa.Logged(isa.Add) != isa.Add {
+		t.Fatal("Logged changed a non-store")
+	}
+}
+
+func TestEncodeDecodeAll(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.PushI, Imm: -42},
+		{Op: isa.Dup},
+		{Op: isa.Add},
+		{Op: isa.Jz, Imm: 0x1234},
+		{Op: isa.Halt},
+	}
+	buf := isa.EncodeAll(prog)
+	got, offs, err := isa.DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(prog) || offs[0] != 0 {
+		t.Fatalf("decode all: %v %v", got, offs)
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Fatalf("instr %d: %v != %v", i, got[i], prog[i])
+		}
+	}
+}
+
+func TestDisassembleLabels(t *testing.T) {
+	buf := isa.EncodeAll([]isa.Instr{{Op: isa.Nop}, {Op: isa.Halt}})
+	out, err := isa.Disassemble(buf, 0x1000, map[uint32]string{0x1001: "f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "f:") || !strings.Contains(out, "nop") || !strings.Contains(out, "halt") {
+		t.Fatalf("disassembly:\n%s", out)
+	}
+}

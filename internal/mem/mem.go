@@ -1,0 +1,256 @@
+// Package mem models the byte-addressable memory of an MSP430FR5969-class
+// intermittent computing platform: a 64 KB address space whose main memory
+// is non-volatile FRAM. Because main memory is non-volatile, a power
+// failure preserves everything written to it — including stores that a
+// checkpointing runtime has not yet committed, which is exactly the hazard
+// model TICS is built around. Only the CPU register file (held by the VM,
+// not by this package) is volatile.
+//
+// The package also provides the region table used by the linker to lay out
+// the runtime area, .text, .data, .bss and stack, and gathers access
+// statistics used by the experiment harnesses.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Size is the size of the simulated address space in bytes (64 KB, matching
+// the FRAM capacity of the MSP430FR5969).
+const Size = 64 * 1024
+
+// WordBytes is the machine word size. The paper's MCU is a 16-bit part; we
+// widen the word to 32 bits so that millisecond timestamps fit in a plain
+// int (see DESIGN.md), while keeping the 64 KB address space.
+const WordBytes = 4
+
+// RegionKind classifies a layout region.
+type RegionKind int
+
+const (
+	// RegionReserved is the low-address reserved area (vector-table analog).
+	RegionReserved RegionKind = iota
+	// RegionRuntime holds runtime-private persistent state: checkpoint
+	// buffers, the undo log, segment control blocks.
+	RegionRuntime
+	// RegionText holds program code.
+	RegionText
+	// RegionData holds initialized globals.
+	RegionData
+	// RegionBSS holds zero-initialized globals, timestamp shadow slots and
+	// mark counters.
+	RegionBSS
+	// RegionStack holds the call stack (for TICS: the segment array).
+	RegionStack
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case RegionReserved:
+		return "reserved"
+	case RegionRuntime:
+		return "runtime"
+	case RegionText:
+		return ".text"
+	case RegionData:
+		return ".data"
+	case RegionBSS:
+		return ".bss"
+	case RegionStack:
+		return "stack"
+	}
+	return fmt.Sprintf("region(%d)", int(k))
+}
+
+// Region is a half-open address interval [Base, Base+Len).
+type Region struct {
+	Kind RegionKind
+	Name string
+	Base uint32
+	Len  uint32
+}
+
+// End returns one past the last address of the region.
+func (r Region) End() uint32 { return r.Base + r.Len }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint32) bool { return addr >= r.Base && addr < r.End() }
+
+// Stats counts memory traffic. The experiment harnesses use these to report
+// how much NV traffic each runtime generates.
+type Stats struct {
+	Reads      uint64 // read operations
+	Writes     uint64 // write operations
+	ReadBytes  uint64
+	WriteBytes uint64
+}
+
+// Memory is the simulated non-volatile main memory.
+type Memory struct {
+	data    [Size]byte
+	regions []Region
+	stats   Stats
+}
+
+// New returns a zeroed memory with no layout regions.
+func New() *Memory { return &Memory{} }
+
+// Stats returns a copy of the accumulated access statistics.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the access statistics.
+func (m *Memory) ResetStats() { m.stats = Stats{} }
+
+// AddRegion registers a layout region. Regions must not overlap; the linker
+// relies on this check to catch layout bugs.
+func (m *Memory) AddRegion(r Region) error {
+	if r.Len == 0 {
+		return fmt.Errorf("mem: region %q is empty", r.Name)
+	}
+	if uint64(r.Base)+uint64(r.Len) > Size {
+		return fmt.Errorf("mem: region %q [%#x,%#x) exceeds the %d-byte address space",
+			r.Name, r.Base, uint64(r.Base)+uint64(r.Len), Size)
+	}
+	for _, o := range m.regions {
+		if r.Base < o.End() && o.Base < r.End() {
+			return fmt.Errorf("mem: region %q [%#x,%#x) overlaps %q [%#x,%#x)",
+				r.Name, r.Base, r.End(), o.Name, o.Base, o.End())
+		}
+	}
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Base < m.regions[j].Base })
+	return nil
+}
+
+// Regions returns the registered regions in address order.
+func (m *Memory) Regions() []Region {
+	out := make([]Region, len(m.regions))
+	copy(out, m.regions)
+	return out
+}
+
+// RegionFor returns the region containing addr, if any.
+func (m *Memory) RegionFor(addr uint32) (Region, bool) {
+	for _, r := range m.regions {
+		if r.Contains(addr) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Region returns the first region of the given kind, if any.
+func (m *Memory) Region(kind RegionKind) (Region, bool) {
+	for _, r := range m.regions {
+		if r.Kind == kind {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+func (m *Memory) check(addr uint32, n int, what string) {
+	if uint64(addr)+uint64(n) > Size {
+		panic(fmt.Sprintf("mem: %s of %d bytes at %#x out of range", what, n, addr))
+	}
+}
+
+// ReadByte reads one byte.
+func (m *Memory) ReadByteAt(addr uint32) byte {
+	m.check(addr, 1, "read")
+	m.stats.Reads++
+	m.stats.ReadBytes++
+	return m.data[addr]
+}
+
+// WriteByte writes one byte.
+func (m *Memory) WriteByteAt(addr uint32, v byte) {
+	m.check(addr, 1, "write")
+	m.stats.Writes++
+	m.stats.WriteBytes++
+	m.data[addr] = v
+}
+
+// ReadWord reads a 32-bit little-endian word.
+func (m *Memory) ReadWord(addr uint32) uint32 {
+	m.check(addr, WordBytes, "read")
+	m.stats.Reads++
+	m.stats.ReadBytes += WordBytes
+	return uint32(m.data[addr]) | uint32(m.data[addr+1])<<8 |
+		uint32(m.data[addr+2])<<16 | uint32(m.data[addr+3])<<24
+}
+
+// WriteWord writes a 32-bit little-endian word.
+func (m *Memory) WriteWord(addr uint32, v uint32) {
+	m.check(addr, WordBytes, "write")
+	m.stats.Writes++
+	m.stats.WriteBytes += WordBytes
+	m.data[addr] = byte(v)
+	m.data[addr+1] = byte(v >> 8)
+	m.data[addr+2] = byte(v >> 16)
+	m.data[addr+3] = byte(v >> 24)
+}
+
+// ReadInt reads a word as a signed 32-bit integer.
+func (m *Memory) ReadInt(addr uint32) int32 { return int32(m.ReadWord(addr)) }
+
+// WriteInt writes a signed 32-bit integer.
+func (m *Memory) WriteInt(addr uint32, v int32) { m.WriteWord(addr, uint32(v)) }
+
+// ReadBytes copies n bytes starting at addr into a new slice.
+func (m *Memory) ReadBytes(addr uint32, n int) []byte {
+	m.check(addr, n, "read")
+	m.stats.Reads++
+	m.stats.ReadBytes += uint64(n)
+	out := make([]byte, n)
+	copy(out, m.data[addr:int(addr)+n])
+	return out
+}
+
+// WriteBytes stores b starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	m.check(addr, len(b), "write")
+	m.stats.Writes++
+	m.stats.WriteBytes += uint64(len(b))
+	copy(m.data[addr:int(addr)+len(b)], b)
+}
+
+// CopyWithin copies n bytes from src to dst inside the address space,
+// counting both the read and the write traffic. Used by checkpoint commits
+// and stack-segment moves.
+func (m *Memory) CopyWithin(dst, src uint32, n int) {
+	m.check(src, n, "read")
+	m.check(dst, n, "write")
+	m.stats.Reads++
+	m.stats.Writes++
+	m.stats.ReadBytes += uint64(n)
+	m.stats.WriteBytes += uint64(n)
+	copy(m.data[dst:int(dst)+n], m.data[src:int(src)+n])
+}
+
+// Zero clears n bytes starting at addr.
+func (m *Memory) Zero(addr uint32, n int) {
+	m.check(addr, n, "write")
+	m.stats.Writes++
+	m.stats.WriteBytes += uint64(n)
+	for i := 0; i < n; i++ {
+		m.data[int(addr)+i] = 0
+	}
+}
+
+// Snapshot returns a copy of the full memory contents. Tests use snapshots
+// to compare intermittent executions against the continuous-power oracle.
+func (m *Memory) Snapshot() []byte {
+	out := make([]byte, Size)
+	copy(out[:], m.data[:])
+	return out
+}
+
+// Restore overwrites the full memory contents from a snapshot.
+func (m *Memory) Restore(snap []byte) {
+	if len(snap) != Size {
+		panic(fmt.Sprintf("mem: restore snapshot of %d bytes", len(snap)))
+	}
+	copy(m.data[:], snap)
+}

@@ -1,0 +1,116 @@
+package mem_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestRegionOverlapRejected(t *testing.T) {
+	m := mem.New()
+	if err := m.AddRegion(mem.Region{Kind: mem.RegionText, Name: "a", Base: 0x100, Len: 0x100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddRegion(mem.Region{Kind: mem.RegionData, Name: "b", Base: 0x180, Len: 0x100}); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	if err := m.AddRegion(mem.Region{Kind: mem.RegionData, Name: "c", Base: 0x200, Len: 0x100}); err != nil {
+		t.Fatalf("adjacent region rejected: %v", err)
+	}
+	if err := m.AddRegion(mem.Region{Kind: mem.RegionData, Name: "d", Base: 0xFFFF, Len: 2}); err == nil {
+		t.Fatal("out-of-space region accepted")
+	}
+	if err := m.AddRegion(mem.Region{Kind: mem.RegionData, Name: "e", Base: 0x400, Len: 0}); err == nil {
+		t.Fatal("empty region accepted")
+	}
+}
+
+func TestRegionLookup(t *testing.T) {
+	m := mem.New()
+	if err := m.AddRegion(mem.Region{Kind: mem.RegionStack, Name: "stack", Base: 0x8000, Len: 0x800}); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := m.RegionFor(0x8100)
+	if !ok || r.Name != "stack" {
+		t.Fatalf("RegionFor: %v %v", r, ok)
+	}
+	if _, ok := m.RegionFor(0x7FFF); ok {
+		t.Fatal("found a region outside any")
+	}
+	r, ok = m.Region(mem.RegionStack)
+	if !ok || r.Base != 0x8000 {
+		t.Fatalf("Region(kind): %v %v", r, ok)
+	}
+}
+
+// TestWordRoundTrip is a property test: any word written at any aligned
+// address reads back identically and byte-decomposes little-endian.
+func TestWordRoundTrip(t *testing.T) {
+	m := mem.New()
+	check := func(addr uint16, v uint32) bool {
+		a := uint32(addr) &^ 3
+		if a+4 > mem.Size {
+			a = mem.Size - 4
+		}
+		m.WriteWord(a, v)
+		if m.ReadWord(a) != v {
+			return false
+		}
+		return uint32(m.ReadByteAt(a)) == v&0xFF &&
+			uint32(m.ReadByteAt(a+3)) == v>>24
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyWithinAndZero(t *testing.T) {
+	m := mem.New()
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	m.WriteBytes(0x100, src)
+	m.CopyWithin(0x200, 0x100, len(src))
+	if got := m.ReadBytes(0x200, len(src)); !bytes.Equal(got, src) {
+		t.Fatalf("copy: %v", got)
+	}
+	m.Zero(0x200, 4)
+	if got := m.ReadBytes(0x200, len(src)); !bytes.Equal(got, []byte{0, 0, 0, 0, 5, 6, 7, 8}) {
+		t.Fatalf("zero: %v", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := mem.New()
+	m.WriteWord(0x40, 0xCAFEBABE)
+	snap := m.Snapshot()
+	m.WriteWord(0x40, 1)
+	m.Restore(snap)
+	if m.ReadWord(0x40) != 0xCAFEBABE {
+		t.Fatal("restore lost data")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m := mem.New()
+	m.WriteWord(0, 1)
+	m.ReadWord(0)
+	m.WriteByteAt(8, 7)
+	s := m.Stats()
+	if s.Writes != 2 || s.Reads != 1 || s.WriteBytes != 5 || s.ReadBytes != 4 {
+		t.Fatalf("stats: %+v", s)
+	}
+	m.ResetStats()
+	if m.Stats() != (mem.Stats{}) {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range write")
+		}
+	}()
+	mem.New().WriteWord(mem.Size-2, 1)
+}

@@ -1,0 +1,89 @@
+package power_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/power"
+)
+
+func TestContinuous(t *testing.T) {
+	c := power.Continuous{}
+	w, off := c.NextWindow()
+	if w != math.MaxInt64 || off != 0 {
+		t.Fatalf("continuous: %d %f", w, off)
+	}
+}
+
+func TestFailEvery(t *testing.T) {
+	f := &power.FailEvery{Cycles: 123, OffMs: 4}
+	for i := 0; i < 3; i++ {
+		w, off := f.NextWindow()
+		if w != 123 || off != 4 {
+			t.Fatalf("fail-every: %d %f", w, off)
+		}
+	}
+}
+
+func TestDutyCycleMath(t *testing.T) {
+	d := &power.DutyCycle{Rate: 0.25, OnMs: 10}
+	w, off := d.NextWindow()
+	if w != 10_000 {
+		t.Fatalf("on window: %d cycles", w)
+	}
+	if math.Abs(off-30) > 1e-9 { // 10ms on : 30ms off = 25% duty
+		t.Fatalf("off: %f", off)
+	}
+	full := &power.DutyCycle{Rate: 1}
+	if w, _ := full.NextWindow(); w != math.MaxInt64 {
+		t.Fatal("rate 1 should be continuous")
+	}
+}
+
+func TestTraceLoopAndReset(t *testing.T) {
+	tr := &power.Trace{Windows: []power.Window{{OnMs: 1, OffMs: 2}, {OnMs: 3, OffMs: 4}}, Loop: true}
+	w1, o1 := tr.NextWindow()
+	w2, o2 := tr.NextWindow()
+	w3, _ := tr.NextWindow() // loops back
+	if w1 != 1000 || o1 != 2 || w2 != 3000 || o2 != 4 || w3 != 1000 {
+		t.Fatalf("trace: %d %f %d %f %d", w1, o1, w2, o2, w3)
+	}
+	tr.Reset()
+	if w, _ := tr.NextWindow(); w != 1000 {
+		t.Fatal("reset did not rewind")
+	}
+	oneShot := &power.Trace{Windows: []power.Window{{OnMs: 1}}}
+	oneShot.NextWindow()
+	if w, _ := oneShot.NextWindow(); w != math.MaxInt64 {
+		t.Fatal("exhausted non-loop trace should go continuous")
+	}
+}
+
+func TestHarvesterDeterministicAndPlausible(t *testing.T) {
+	a := power.NewHarvester(10_000, 100, 0.5, 9)
+	b := power.NewHarvester(10_000, 100, 0.5, 9)
+	var total int64
+	for i := 0; i < 50; i++ {
+		wa, oa := a.NextWindow()
+		wb, ob := b.NextWindow()
+		if wa != wb || oa != ob {
+			t.Fatalf("iteration %d: nondeterministic harvester", i)
+		}
+		if wa <= 0 || oa < 0 {
+			t.Fatalf("implausible window %d / off %f", wa, oa)
+		}
+		if wa > 10_000 {
+			t.Fatalf("window %d exceeds capacity", wa)
+		}
+		total += wa
+	}
+	if total == 0 {
+		t.Fatal("harvester yielded no energy")
+	}
+	a.Reset()
+	w, _ := a.NextWindow()
+	wb, _ := power.NewHarvester(10_000, 100, 0.5, 9).NextWindow()
+	if w != wb {
+		t.Fatal("reset did not reproduce the first window")
+	}
+}

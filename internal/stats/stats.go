@@ -1,0 +1,197 @@
+// Package stats provides the statistics the evaluation needs: descriptive
+// summaries, a seeded deterministic RNG with normal/log-normal variates,
+// and the Wilcoxon signed-rank test the paper applies to the user-study
+// bug-search times (§5.4: "Wilcoxon T Test ... rejected the hypothesis
+// that TICS/InK results were the same with p-value below 0.001").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Wilcoxon holds the result of a signed-rank test.
+type Wilcoxon struct {
+	N     int     // pairs with non-zero difference
+	W     float64 // min(W+, W-)
+	WPlus float64
+	Z     float64 // normal approximation with tie correction
+	P     float64 // two-sided p-value
+}
+
+func (w Wilcoxon) String() string {
+	return fmt.Sprintf("Wilcoxon{n=%d W=%.1f z=%.3f p=%.3g}", w.N, w.W, w.Z, w.P)
+}
+
+// WilcoxonSignedRank runs the paired two-sided test on xs vs ys. Zero
+// differences are dropped; ties share average ranks; the normal
+// approximation includes the tie correction (adequate for n ≥ ~10, and the
+// study has 90 respondents).
+func WilcoxonSignedRank(xs, ys []float64) (Wilcoxon, error) {
+	if len(xs) != len(ys) {
+		return Wilcoxon{}, fmt.Errorf("stats: paired test needs equal lengths, got %d and %d", len(xs), len(ys))
+	}
+	type diff struct {
+		abs float64
+		pos bool
+	}
+	var ds []diff
+	for i := range xs {
+		d := xs[i] - ys[i]
+		if d == 0 {
+			continue
+		}
+		ds = append(ds, diff{abs: math.Abs(d), pos: d > 0})
+	}
+	n := len(ds)
+	if n == 0 {
+		return Wilcoxon{P: 1}, nil
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].abs < ds[j].abs })
+	// Average ranks over ties, accumulating the tie correction term.
+	ranks := make([]float64, n)
+	tieTerm := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && ds[j].abs == ds[i].abs {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based: mean of i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	wPlus := 0.0
+	for i, d := range ds {
+		if d.pos {
+			wPlus += ranks[i]
+		}
+	}
+	nf := float64(n)
+	total := nf * (nf + 1) / 2
+	wMinus := total - wPlus
+	w := math.Min(wPlus, wMinus)
+	meanW := total / 2
+	varW := nf*(nf+1)*(2*nf+1)/24 - tieTerm/48
+	if varW <= 0 {
+		return Wilcoxon{N: n, W: w, WPlus: wPlus, P: 1}, nil
+	}
+	// Continuity-corrected z.
+	z := (w - meanW + 0.5) / math.Sqrt(varW)
+	p := 2 * normalCDF(-math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return Wilcoxon{N: n, W: w, WPlus: wPlus, Z: z, P: p}, nil
+}
+
+// normalCDF is the standard normal CDF.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// RNG is a small deterministic generator (xoshiro-style mix) with normal
+// and log-normal variates, so experiments are reproducible without
+// math/rand's global state.
+type RNG struct {
+	s     uint64
+	spare float64
+	has   bool
+}
+
+// NewRNG seeds a generator (seed 0 is remapped).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 returns the next raw value.
+func (r *RNG) Uint64() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform integer in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns a standard normal variate (Box–Muller with caching).
+func (r *RNG) Normal() float64 {
+	if r.has {
+		r.has = false
+		return r.spare
+	}
+	var u, v float64
+	for u = r.Float64(); u == 0; u = r.Float64() {
+	}
+	v = r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.spare = mag * math.Sin(2*math.Pi*v)
+	r.has = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// LogNormal returns exp(mu + sigma·N(0,1)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Normal())
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }

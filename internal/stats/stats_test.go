@@ -1,0 +1,138 @@
+package stats_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := stats.Mean(xs); m != 5 {
+		t.Fatalf("mean %f", m)
+	}
+	if s := stats.StdDev(xs); math.Abs(s-2.138) > 0.01 {
+		t.Fatalf("std %f", s)
+	}
+	if md := stats.Median(xs); md != 4.5 {
+		t.Fatalf("median %f", md)
+	}
+	if stats.Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if stats.Mean(nil) != 0 || stats.StdDev([]float64{1}) != 0 || stats.Median(nil) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+// TestWilcoxonKnownExample reproduces a textbook signed-rank computation.
+func TestWilcoxonKnownExample(t *testing.T) {
+	x := []float64{125, 115, 130, 140, 140, 115, 140, 125, 140, 135}
+	y := []float64{110, 122, 125, 120, 140, 124, 123, 137, 135, 145}
+	w, err := stats.WilcoxonSignedRank(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One zero difference drops; the classic answer is W = 18 with n = 9.
+	if w.N != 9 {
+		t.Fatalf("n = %d", w.N)
+	}
+	if math.Abs(w.W-18) > 1e-9 {
+		t.Fatalf("W = %f, want 18", w.W)
+	}
+	if w.P < 0.05 || w.P > 1 {
+		t.Fatalf("p = %f, expected not significant", w.P)
+	}
+}
+
+func TestWilcoxonDetectsShift(t *testing.T) {
+	rng := stats.NewRNG(11)
+	var x, y []float64
+	for i := 0; i < 80; i++ {
+		base := rng.LogNormal(4, 0.3)
+		x = append(x, base)
+		y = append(y, base*1.6+5)
+	}
+	w, err := stats.WilcoxonSignedRank(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.P > 1e-6 {
+		t.Fatalf("large consistent shift not detected: %v", w)
+	}
+}
+
+func TestWilcoxonProperties(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 5
+		rng := stats.NewRNG(seed)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 100
+			y[i] = rng.Float64() * 100
+		}
+		w, err := stats.WilcoxonSignedRank(x, y)
+		if err != nil {
+			return false
+		}
+		if w.P < 0 || w.P > 1 {
+			return false
+		}
+		// Symmetry: swapping the samples preserves W (min of W+, W-) and p.
+		w2, _ := stats.WilcoxonSignedRank(y, x)
+		return math.Abs(w.W-w2.W) < 1e-9 && math.Abs(w.P-w2.P) < 1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWilcoxonErrors(t *testing.T) {
+	if _, err := stats.WilcoxonSignedRank([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	w, err := stats.WilcoxonSignedRank([]float64{1, 2}, []float64{1, 2})
+	if err != nil || w.P != 1 {
+		t.Fatalf("all-ties: %v %v", w, err)
+	}
+}
+
+func TestRNG(t *testing.T) {
+	a, b := stats.NewRNG(5), stats.NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("nondeterministic")
+		}
+	}
+	r := stats.NewRNG(6)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("uniform out of range: %f", f)
+		}
+		sum += f
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("uniform mean %f", mean)
+	}
+	var nsum, nsq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		nsum += v
+		nsq += v * v
+	}
+	if m := nsum / float64(n); math.Abs(m) > 0.05 {
+		t.Fatalf("normal mean %f", m)
+	}
+	if sd := math.Sqrt(nsq / float64(n)); math.Abs(sd-1) > 0.05 {
+		t.Fatalf("normal sd %f", sd)
+	}
+	if r.Intn(0) != 0 {
+		t.Fatal("Intn(0)")
+	}
+}

@@ -1,0 +1,71 @@
+package survey_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/survey"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, err := survey.Run(survey.Config{N: 90, Seed: 2020})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := survey.Run(survey.Config{N: 90, Seed: 2020})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Wilcoxon != b.Wilcoxon || len(a.Records) != len(b.Records) {
+		t.Fatal("nondeterministic study")
+	}
+}
+
+func TestPaperShape(t *testing.T) {
+	res, err := survey.Run(survey.Config{N: 90, Seed: 2020})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 90 || len(res.Records) != 90*3*2 {
+		t.Fatalf("size: %d respondents, %d records", res.N, len(res.Records))
+	}
+	// 78% of 90 with experience, within sampling noise.
+	if res.Experienced < 55 || res.Experienced > 85 {
+		t.Fatalf("experienced: %d", res.Experienced)
+	}
+	byKey := map[string]survey.Cell{}
+	for _, c := range res.Cells {
+		byKey[c.Program+"/"+string(c.Lang)] = c
+	}
+	for _, p := range survey.Programs() {
+		tics := byKey[p.Name+"/tics"]
+		ink := byKey[p.Name+"/ink"]
+		if tics.Accuracy() <= ink.Accuracy() {
+			t.Fatalf("%s: TICS accuracy %.2f not above InK %.2f", p.Name, tics.Accuracy(), ink.Accuracy())
+		}
+		if tics.MeanSec >= ink.MeanSec {
+			t.Fatalf("%s: TICS time %.1f not below InK %.1f", p.Name, tics.MeanSec, ink.MeanSec)
+		}
+	}
+	// Bubble under InK: "in half of the cases users were wrong".
+	if acc := byKey["bubble/ink"].Accuracy(); acc > 0.75 {
+		t.Fatalf("bubble/ink accuracy %.2f too high for the paper's finding", acc)
+	}
+	// The headline result: p < 0.001.
+	if res.Wilcoxon.P >= 0.001 {
+		t.Fatalf("Wilcoxon p = %g, paper reports < 0.001", res.Wilcoxon.P)
+	}
+}
+
+func TestRender(t *testing.T) {
+	res, err := survey.Run(survey.Config{N: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{"swap", "bubble", "timekeeping", "Wilcoxon", "Verdict"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package trace_test
+
+import (
+	"testing"
+
+	tics "repro"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// A compact sampling program with one annotated slot: fresh on continuous
+// power, stale when a long outage splits sampling from consumption.
+const src = `
+@expires_after=100 int data[4];
+int sink;
+
+int main() {
+    int i;
+    int j;
+    for (j = 0; j < 5; j++) {
+        for (i = 0; i < 4; i++) {
+            data[i] @= sense(4);
+        }
+        @expires(data[0]) {
+            sink = data[0] + data[1] + data[2] + data[3];
+            mark(0);
+        } catch {
+            mark(1);
+        }
+    }
+    out(0, sink);
+    return 0;
+}
+`
+
+func runWithDetector(t *testing.T, p power.Source) *trace.Detector {
+	t.Helper()
+	img, err := tics.Build(src, tics.BuildOptions{Runtime: tics.RTTICS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tics.NewMachine(img, tics.RunOptions{Power: p, AutoCpPeriodMs: 5, MaxCycles: 500_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := trace.Attach(m, img.Image, trace.Config{
+		Pairs:       []trace.Pair{{DataName: "data"}},
+		ConsumeMark: 0,
+		FreshnessMs: 100,
+		AlignMs:     20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil || !res.Completed {
+		t.Fatalf("run: %v %+v", err, res)
+	}
+	det.Finish()
+	return det
+}
+
+func TestCleanRunHasNoViolations(t *testing.T) {
+	det := runWithDetector(t, power.Continuous{})
+	if det.Misalign.Observed != 0 || det.Expired.Observed != 0 {
+		t.Fatalf("violations on continuous power: %+v %+v", det.Misalign, det.Expired)
+	}
+	if det.Misalign.Potential != 20 || det.Expired.Potential != 20 {
+		t.Fatalf("potentials: %+v %+v (want 20 committed samples)", det.Misalign, det.Expired)
+	}
+}
+
+func TestTICSStaysCleanUnderFailures(t *testing.T) {
+	det := runWithDetector(t, &power.FailEvery{Cycles: 4000, OffMs: 150})
+	if det.Misalign.Observed != 0 || det.Expired.Observed != 0 {
+		t.Fatalf("TICS produced violations: %+v %+v", det.Misalign, det.Expired)
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	img, err := tics.Build(src, tics.BuildOptions{Runtime: tics.RTTICS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tics.NewMachine(img, tics.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Attach(m, img.Image, trace.Config{Pairs: []trace.Pair{{DataName: "nope"}}}); err == nil {
+		t.Fatal("unknown global accepted")
+	}
+	if _, err := trace.Attach(m, img.Image, trace.Config{Pairs: []trace.Pair{{DataName: "sink"}}}); err == nil {
+		t.Fatal("non-annotated global without TSName accepted")
+	}
+}
+
+func TestDualBranchCounting(t *testing.T) {
+	dualSrc := `
+int A[4];
+int B[4];
+int main() {
+    A[0] = 1;
+    B[0] = 1; // dual evidence for decision 0
+    A[1] = 1; // single evidence for decision 1
+    out(0, 0);
+    return 0;
+}
+`
+	img, err := tics.Build(dualSrc, tics.BuildOptions{Runtime: tics.RTPlain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tics.NewMachine(img, tics.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := trace.CountDualBranches(m, img.Image, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Potential != 2 || c.Observed != 1 {
+		t.Fatalf("dual branches: %+v", c)
+	}
+}

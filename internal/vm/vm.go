@@ -1,0 +1,915 @@
+// Package vm executes linked TICS-C images on a simulated intermittently
+// powered MCU. The machine has a volatile register file (PC, SP, FP, RV),
+// a non-volatile 64 KB main memory, a deterministic per-operation cycle
+// cost model, and a power source that yields powered windows: when a
+// window is exhausted mid-operation the volatile state is lost and the
+// installed Runtime's Boot path decides what survives — exactly the
+// paper's execution model.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/link"
+	"repro/internal/mem"
+	"repro/internal/power"
+	"repro/internal/timekeeper"
+)
+
+// Registers is the volatile CPU state cleared by every power failure.
+type Registers struct {
+	PC uint32
+	SP uint32
+	FP uint32
+	RV uint32
+}
+
+// CpKind classifies why a checkpoint was taken.
+type CpKind int
+
+const (
+	CpManual CpKind = iota
+	CpTimer
+	CpStackGrow
+	CpStackShrink
+	CpTrigger // baseline trigger-point checkpoints (loop back-edges, calls)
+	cpKindCount
+)
+
+func (k CpKind) String() string {
+	switch k {
+	case CpManual:
+		return "manual"
+	case CpTimer:
+		return "timer"
+	case CpStackGrow:
+		return "stack-grow"
+	case CpStackShrink:
+		return "stack-shrink"
+	case CpTrigger:
+		return "trigger"
+	}
+	return "?"
+}
+
+// Runtime is the intermittency-protection strategy plugged into the
+// machine. internal/core implements TICS; internal/baseline and
+// internal/taskrt implement the systems TICS is compared against.
+type Runtime interface {
+	Name() string
+	// Boot runs at every power-up. cold is true only for the first boot of
+	// a fresh device; afterwards the runtime restores whatever state its
+	// strategy preserved. Boot must set the register file.
+	Boot(m *Machine, cold bool) error
+	// Enter implements the Enter opcode (function prologue, stack checks,
+	// TICS stack grow). fn indexes the image's function table.
+	Enter(m *Machine, fn int) error
+	// Leave implements the Leave opcode (epilogue + return, TICS stack
+	// shrink).
+	Leave(m *Machine) error
+	// PreStore runs at the start of every instrumented-store instruction,
+	// before its operands are popped. A runtime whose log is full takes
+	// its forced checkpoint here, so the saved PC re-executes the whole
+	// store instruction on restore (a checkpoint taken after the pops
+	// would resume with a corrupted operand stack).
+	PreStore(m *Machine) error
+	// LoggedStore implements the instrumented store opcodes: the runtime
+	// applies its consistency discipline (undo logging, privatization)
+	// and performs the write.
+	LoggedStore(m *Machine, addr uint32, size int, value uint32) error
+	// Checkpoint handles a checkpoint request. Runtimes without
+	// checkpoints treat it as a no-op.
+	Checkpoint(m *Machine, kind CpKind) error
+	// OnExpiry fires when an armed @expires/catch deadline passes.
+	OnExpiry(m *Machine) error
+	// Transition handles the TransTo opcode (task-based runtimes only).
+	Transition(m *Machine, task int32) error
+	// OnInterrupt delivers an interrupt: the runtime performs the
+	// call-like transfer into the ISR and applies its discipline (TICS
+	// disables automatic checkpoints for the ISR's duration, §4).
+	OnInterrupt(m *Machine, isrEntry uint32) error
+	// OnInterruptReturn runs right after the ISR's return-from-interrupt
+	// (TICS places an implicit checkpoint here, §4).
+	OnInterruptReturn(m *Machine) error
+	// Stats returns runtime-specific counters for experiment reports.
+	Stats() map[string]int64
+}
+
+// powerFailure is the panic sentinel unwinding the current window.
+type powerFailure struct{}
+
+// machineFault aborts execution with a program error (wild store,
+// divide by zero, stack overflow).
+type machineFault struct{ err error }
+
+// ErrStarved is returned when the program cannot make progress within the
+// failure/cycle watchdog — the system-starvation phenomenon the paper
+// describes for oversized checkpoints.
+var ErrStarved = errors.New("vm: starved: no forward progress within the watchdog budget")
+
+// SendRec is one radio transmission.
+type SendRec struct {
+	Value  int32
+	TrueMs float64 // true wall-clock time of the send
+	EstMs  int64   // the device's own clock at the send
+}
+
+// SensorBank provides sensor readings; implementations live in
+// internal/sensors.
+type SensorBank interface {
+	Sense(id int32, trueMs float64) int32
+}
+
+// Config assembles a machine.
+type Config struct {
+	Image   *link.Image
+	Cost    energy.CostModel
+	Power   power.Source
+	Clock   timekeeper.Keeper
+	Runtime Runtime
+	Sensors SensorBank
+	// AutoCpPeriodMs enables timer-driven checkpoints with the given
+	// period (0 disables; the paper uses 10 ms).
+	AutoCpPeriodMs float64
+	// MaxCycles is the starvation watchdog (default 2e9 cycles ≈ 33
+	// simulated minutes at 1 MHz).
+	MaxCycles int64
+	// MaxFailures bounds reboot loops (default 1e6).
+	MaxFailures int
+	// MaxWallMs ends the run (Result.TimedOut) once true wall-clock time —
+	// on-time plus off-time — reaches this budget. Zero disables. The
+	// fixed-duration experiments (Table 1) use it.
+	MaxWallMs float64
+	// InterruptPeriodMs fires a periodic timer interrupt every period of
+	// powered time, delivered to the function named ISRName. Zero
+	// disables. A pending interrupt is volatile: a power failure before
+	// its ISR completes makes it vanish, exactly the paper's semantics
+	// ("the system will continue as if the interrupt did not occur").
+	InterruptPeriodMs float64
+	// ISRName is the interrupt service routine (default "isr_timer").
+	ISRName string
+	// VirtualizeSends buffers radio sends in the runtime's commit
+	// machinery so each committed send transmits exactly once — the
+	// "virtualizing the I/O interface across power failures" the paper
+	// names as future work. Off by default: the raw radio duplicates
+	// replayed sends, as real hardware does.
+	VirtualizeSends bool
+}
+
+// Machine is the simulated MCU.
+type Machine struct {
+	Mem  *mem.Memory
+	Img  *link.Image
+	Cost energy.CostModel
+
+	Regs Registers
+	// CpDisable is the nesting depth of atomic time-annotation regions
+	// (@=, @expires, @timely); automatic checkpoints are suppressed while
+	// it is positive. It is volatile but checkpointed by the runtimes.
+	CpDisable int
+
+	// Volatile expiry arm (re-armed by re-executing ExpCatch after boot).
+	ExpiryArmed    bool
+	ExpiryDeadline int64
+	ExpiryCatchPC  uint32
+
+	rt       Runtime
+	powerSrc power.Source
+	clock    timekeeper.Keeper
+	sensors  SensorBank
+
+	remaining    int64 // cycles left in the current window
+	pendingOffMs float64
+	cycles       int64
+	sinceCp      int64
+	autoCpCycles int64
+	onMs         float64
+	offMs        float64
+	failures     int
+	maxCycles    int64
+	maxFailures  int
+	maxWallMs    float64
+	halted       bool
+	timedOut     bool
+
+	// OnStore observes every program-order store (after the runtime's
+	// consistency discipline) with the device clock reading; OnMark
+	// observes Mark opcodes; OnCheckpoint/OnRestore observe commit points
+	// and rollbacks so observers can keep only *committed* events. The
+	// Table 2 violation detectors hook these.
+	OnStore      func(addr uint32, size int, val uint32, deviceMs int64)
+	OnMark       func(id int32, deviceMs int64)
+	OnCheckpoint func(kind CpKind)
+	OnRestore    func()
+
+	// Interrupt controller state (volatile).
+	irqPeriodMs float64
+	irqEntry    uint32
+	nextIrqMs   float64
+	inISR       bool
+	isrRetPC    uint32
+	isrRetSP    uint32
+
+	cpCounts [cpKindCount]int64
+	restores int64
+	irqCount int64
+
+	SendLog         []SendRec
+	virtualizeSends bool
+	sendPending     []SendRec
+	// OutLog is the committed verification channel: Out-opcode values stay
+	// pending until a commit point (checkpoint, task transition, or end of
+	// run) and are dropped when a restore rolls their execution back, so
+	// the log reflects exactly the committed execution. SendLog, by
+	// contrast, is the raw radio: replayed sends appear twice, the real
+	// phenomenon the paper defers to I/O virtualization future work.
+	OutLog     map[int32][]int32
+	outPending []outEntry
+
+	decoded map[uint32]decodedInstr
+}
+
+type decodedInstr struct {
+	in   isa.Instr
+	next uint32
+}
+
+type outEntry struct {
+	ch  int32
+	val int32
+}
+
+// New builds a machine, loads the image into a fresh memory and leaves it
+// ready to Run.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Image == nil {
+		return nil, errors.New("vm: config needs an image")
+	}
+	if cfg.Power == nil {
+		cfg.Power = power.Continuous{}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = &timekeeper.Perfect{}
+	}
+	if cfg.Runtime == nil {
+		cfg.Runtime = NewPlain()
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2_000_000_000
+	}
+	if cfg.MaxFailures == 0 {
+		cfg.MaxFailures = 1_000_000
+	}
+	if (cfg.Cost == energy.CostModel{}) {
+		cfg.Cost = energy.Default()
+	}
+	m := &Machine{
+		Mem:             mem.New(),
+		Img:             cfg.Image,
+		Cost:            cfg.Cost,
+		rt:              cfg.Runtime,
+		powerSrc:        cfg.Power,
+		clock:           cfg.Clock,
+		sensors:         cfg.Sensors,
+		maxCycles:       cfg.MaxCycles,
+		maxFailures:     cfg.MaxFailures,
+		maxWallMs:       cfg.MaxWallMs,
+		virtualizeSends: cfg.VirtualizeSends,
+		OutLog:          map[int32][]int32{},
+		autoCpCycles:    int64(cfg.AutoCpPeriodMs * energy.CyclesPerMs),
+	}
+	if err := cfg.Image.LoadInto(m.Mem); err != nil {
+		return nil, err
+	}
+	if err := m.decodeText(); err != nil {
+		return nil, err
+	}
+	if cfg.InterruptPeriodMs > 0 {
+		name := cfg.ISRName
+		if name == "" {
+			name = "isr_timer"
+		}
+		found := false
+		for _, f := range cfg.Image.Funcs {
+			if f.Name == name {
+				if f.NArgs != 0 {
+					return nil, fmt.Errorf("vm: ISR %s must take no arguments", name)
+				}
+				m.irqEntry = f.Entry
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("vm: no ISR function %q in the image", name)
+		}
+		m.irqPeriodMs = cfg.InterruptPeriodMs
+		m.nextIrqMs = m.onMs + m.irqPeriodMs
+	}
+	return m, nil
+}
+
+func (m *Machine) decodeText() error {
+	m.decoded = make(map[uint32]decodedInstr)
+	code := m.Img.Text
+	for off := 0; off < len(code); {
+		in, next, err := isa.Decode(code, off)
+		if err != nil {
+			return err
+		}
+		m.decoded[m.Img.TextBase+uint32(off)] = decodedInstr{in: in, next: m.Img.TextBase + uint32(next)}
+		off = next
+	}
+	return nil
+}
+
+// ---- Accessors used by runtimes ----
+
+// Runtime returns the installed runtime.
+func (m *Machine) Runtime() Runtime { return m.rt }
+
+// CpDisabled reports whether automatic checkpoints are currently
+// suppressed by an atomic time-annotation region.
+func (m *Machine) CpDisabled() bool { return m.CpDisable > 0 }
+
+// Clock returns the persistent timekeeper.
+func (m *Machine) Clock() timekeeper.Keeper { return m.clock }
+
+// TrueNowMs returns the true wall-clock time (on + off) in milliseconds.
+func (m *Machine) TrueNowMs() float64 { return m.onMs + m.offMs }
+
+// Cycles returns total executed cycles.
+func (m *Machine) Cycles() int64 { return m.cycles }
+
+// Remaining returns the cycles left in the current powered window — the
+// "voltage check" proxy used by Mementos-style trigger checkpoints.
+func (m *Machine) Remaining() int64 { return m.remaining }
+
+// SinceCheckpoint returns cycles executed since the last checkpoint.
+func (m *Machine) SinceCheckpoint() int64 { return m.sinceCp }
+
+// NoteCheckpoint records a completed checkpoint of the given kind and
+// resets the timer-checkpoint clock.
+func (m *Machine) NoteCheckpoint(kind CpKind) {
+	m.cpCounts[kind]++
+	m.sinceCp = 0
+	m.CommitObservables()
+	if m.OnCheckpoint != nil {
+		m.OnCheckpoint(kind)
+	}
+}
+
+// CommitObservables flushes pending Out values into the committed log and
+// transmits any virtualized sends (charging the radio cost now). Runtimes
+// whose commit point is not a checkpoint (task transitions) call it
+// directly.
+func (m *Machine) CommitObservables() {
+	for _, e := range m.outPending {
+		m.OutLog[e.ch] = append(m.OutLog[e.ch], e.val)
+	}
+	m.outPending = m.outPending[:0]
+	// No Spend here: the flush must be atomic with the commit (a failure
+	// between them would drop already-committed packets).
+	for _, rec := range m.sendPending {
+		rec.TrueMs = m.TrueNowMs()
+		rec.EstMs = m.clock.Now()
+		m.SendLog = append(m.SendLog, rec)
+	}
+	m.sendPending = m.sendPending[:0]
+}
+
+// NoteRestore records a completed post-failure restore.
+func (m *Machine) NoteRestore() {
+	m.restores++
+	m.outPending = m.outPending[:0] // the rolled-back execution never happened
+	m.sendPending = m.sendPending[:0]
+	if m.OnRestore != nil {
+		m.OnRestore()
+	}
+}
+
+// Spend charges cycles; it panics with the power-failure sentinel when the
+// window is exhausted, so multi-step runtime operations (checkpoint
+// copies, undo-log appends) can die halfway exactly like real FRAM writes.
+func (m *Machine) Spend(c int64) {
+	m.remaining -= c
+	m.cycles += c
+	m.sinceCp += c
+	ms := float64(c) / energy.CyclesPerMs
+	m.onMs += ms
+	m.clock.AdvanceOn(ms)
+	if m.remaining < 0 {
+		panic(powerFailure{})
+	}
+}
+
+// Halt stops the machine as if the program executed Halt (used by task
+// runtimes when the final task transitions to the done sentinel).
+func (m *Machine) Halt() { m.halted = true }
+
+// PowerOn grants a powered window directly, bypassing the power source.
+// Micro-benchmark harnesses (Table 4) use it to drive runtime operations
+// outside Run.
+func (m *Machine) PowerOn(cycles int64) { m.remaining = cycles }
+
+// Fault aborts execution with a program fault.
+func (m *Machine) Fault(format string, args ...any) {
+	panic(machineFault{fmt.Errorf(format, args...)})
+}
+
+// Push pushes a word onto the machine stack.
+func (m *Machine) Push(v uint32) {
+	sp := m.Regs.SP - 4
+	if sp < m.Img.StackBase {
+		m.Fault("stack overflow: SP=%#x below stack base %#x", sp, m.Img.StackBase)
+	}
+	m.Regs.SP = sp
+	m.Mem.WriteWord(sp, v)
+}
+
+// Pop pops a word from the machine stack.
+func (m *Machine) Pop() uint32 {
+	if m.Regs.SP >= m.Img.StackBase+m.Img.StackLen {
+		m.Fault("stack underflow: SP=%#x", m.Regs.SP)
+	}
+	v := m.Mem.ReadWord(m.Regs.SP)
+	m.Regs.SP += 4
+	return v
+}
+
+// writable reports whether the program may store to addr (globals, mark
+// counters, or the stack region — never text or the runtime area).
+func (m *Machine) writable(addr uint32, size int) bool {
+	end := addr + uint32(size)
+	return addr >= m.Img.GlobalsBase && end <= m.Img.StackBase+m.Img.StackLen
+}
+
+// RawStore performs an uninstrumented program store with bounds checking.
+// All program-order stores funnel through here (the runtimes' LoggedStore
+// implementations included), which is where the store observer hooks in.
+func (m *Machine) RawStore(addr uint32, size int, v uint32) {
+	if !m.writable(addr, size) {
+		m.Fault("wild store of %d bytes at %#x", size, addr)
+	}
+	if size == 1 {
+		m.Mem.WriteByteAt(addr, byte(v))
+	} else {
+		m.Mem.WriteWord(addr, v)
+	}
+	if m.OnStore != nil {
+		m.OnStore(addr, size, v, m.clock.Now())
+	}
+}
+
+// ---- Execution ----
+
+// Result summarizes a run.
+type Result struct {
+	Completed bool
+	Starved   bool
+	TimedOut  bool // the MaxWallMs budget elapsed first
+	Fault     error
+
+	Cycles   int64
+	OnMs     float64
+	OffMs    float64
+	Failures int
+	Restores int64
+
+	Checkpoints      map[string]int64
+	TotalCheckpoints int64
+	Interrupts       int64
+	RuntimeStats     map[string]int64
+
+	SendLog    []SendRec
+	OutLog     map[int32][]int32
+	MarkCounts []int64
+
+	MemStats mem.Stats
+}
+
+// WallMs returns total true elapsed time.
+func (r Result) WallMs() float64 { return r.OnMs + r.OffMs }
+
+// Run executes the image to completion (Halt), starvation, or fault.
+func (m *Machine) Run() (Result, error) {
+	cold := true
+	for !m.halted {
+		if m.timedOut {
+			return m.result(false, false, nil), nil
+		}
+		if m.failures > m.maxFailures || m.cycles > m.maxCycles {
+			return m.result(false, true, nil), nil
+		}
+		failed, fault := m.runWindow(cold)
+		cold = false
+		if fault != nil {
+			return m.result(false, false, fault), fault
+		}
+		if failed {
+			m.failures++
+			m.offMs += m.pendingOffMs
+			m.clock.AdvanceOff(m.pendingOffMs)
+			m.Regs = Registers{}
+			m.CpDisable = 0
+			m.ExpiryArmed = false
+			// Pending/in-flight interrupts are volatile: the paper's
+			// semantics are that an incomplete ISR never happened.
+			m.inISR = false
+			if m.irqPeriodMs > 0 {
+				m.nextIrqMs = m.onMs + m.irqPeriodMs
+			}
+		}
+	}
+	return m.result(true, false, nil), nil
+}
+
+// runWindow powers the device for one window and executes until Halt,
+// fault, or power failure.
+func (m *Machine) runWindow(cold bool) (failed bool, fault error) {
+	m.remaining, m.pendingOffMs = m.powerSrc.NextWindow()
+	defer func() {
+		r := recover()
+		switch r := r.(type) {
+		case nil:
+		case powerFailure:
+			failed = true
+		case machineFault:
+			fault = r.err
+		default:
+			panic(r)
+		}
+	}()
+	if err := m.rt.Boot(m, cold); err != nil {
+		return false, err
+	}
+	for !m.halted {
+		if err := m.step(); err != nil {
+			return false, err
+		}
+		if m.cycles > m.maxCycles {
+			return false, nil // watchdog; Run turns this into starvation
+		}
+		if m.maxWallMs > 0 && m.TrueNowMs() >= m.maxWallMs {
+			m.timedOut = true
+			return false, nil
+		}
+	}
+	return false, nil
+}
+
+func (m *Machine) chargeFor(op isa.Op) {
+	switch isa.Lookup(op).Class {
+	case isa.ClassALU:
+		m.Spend(m.Cost.Instr)
+	case isa.ClassMem:
+		m.Spend(m.Cost.InstrMem)
+	case isa.ClassCtl:
+		m.Spend(m.Cost.InstrCtl)
+	case isa.ClassTrap:
+		m.Spend(m.Cost.TrapBase)
+	}
+}
+
+func (m *Machine) step() error {
+	d, ok := m.decoded[m.Regs.PC]
+	if !ok {
+		m.Fault("PC=%#x is not an instruction boundary", m.Regs.PC)
+	}
+	in := d.in
+	m.chargeFor(in.Op)
+	next := d.next
+	switch in.Op {
+	case isa.StoreGL, isa.StoreGBL, isa.StoreIL, isa.StoreIBL, isa.Mark, isa.SetTS:
+		if err := m.rt.PreStore(m); err != nil {
+			return err
+		}
+	}
+	switch in.Op {
+	case isa.Nop:
+	case isa.Halt:
+		m.halted = true
+	case isa.PushI:
+		m.Push(uint32(in.Imm))
+	case isa.Dup:
+		v := m.Pop()
+		m.Push(v)
+		m.Push(v)
+	case isa.Drop:
+		m.Pop()
+	case isa.Swap:
+		a := m.Pop()
+		b := m.Pop()
+		m.Push(a)
+		m.Push(b)
+	case isa.LoadG:
+		m.Push(m.Mem.ReadWord(uint32(in.Imm)))
+	case isa.StoreG:
+		m.RawStore(uint32(in.Imm), 4, m.Pop())
+	case isa.StoreGL:
+		if err := m.rt.LoggedStore(m, uint32(in.Imm), 4, m.Pop()); err != nil {
+			return err
+		}
+	case isa.LoadGB:
+		m.Push(uint32(m.Mem.ReadByteAt(uint32(in.Imm))))
+	case isa.StoreGB:
+		m.RawStore(uint32(in.Imm), 1, m.Pop())
+	case isa.StoreGBL:
+		if err := m.rt.LoggedStore(m, uint32(in.Imm), 1, m.Pop()); err != nil {
+			return err
+		}
+	case isa.LoadL:
+		m.Push(m.Mem.ReadWord(uint32(int32(m.Regs.FP) + in.Imm)))
+	case isa.StoreL:
+		m.RawStore(uint32(int32(m.Regs.FP)+in.Imm), 4, m.Pop())
+	case isa.AddrL:
+		m.Push(uint32(int32(m.Regs.FP) + in.Imm))
+	case isa.LoadI:
+		m.Push(m.Mem.ReadWord(m.Pop()))
+	case isa.StoreI:
+		v := m.Pop()
+		m.RawStore(m.Pop(), 4, v)
+	case isa.StoreIL:
+		v := m.Pop()
+		if err := m.rt.LoggedStore(m, m.Pop(), 4, v); err != nil {
+			return err
+		}
+	case isa.LoadIB:
+		m.Push(uint32(m.Mem.ReadByteAt(m.Pop())))
+	case isa.StoreIB:
+		v := m.Pop()
+		m.RawStore(m.Pop(), 1, v)
+	case isa.StoreIBL:
+		v := m.Pop()
+		if err := m.rt.LoggedStore(m, m.Pop(), 1, v); err != nil {
+			return err
+		}
+	case isa.Add, isa.Sub, isa.Mul, isa.Div, isa.Mod, isa.And, isa.Or, isa.Xor,
+		isa.Shl, isa.Shr, isa.CmpEq, isa.CmpNe, isa.CmpLt, isa.CmpLe, isa.CmpGt,
+		isa.CmpGe, isa.CmpLtU, isa.CmpLeU, isa.CmpGtU, isa.CmpGeU:
+		r := m.Pop()
+		l := m.Pop()
+		m.Push(m.alu(in.Op, l, r))
+	case isa.Neg:
+		m.Push(uint32(-int32(m.Pop())))
+	case isa.Not:
+		m.Push(^m.Pop())
+	case isa.LNot:
+		if m.Pop() == 0 {
+			m.Push(1)
+		} else {
+			m.Push(0)
+		}
+	case isa.Jmp:
+		next = uint32(in.Imm)
+	case isa.Jz:
+		if m.Pop() == 0 {
+			next = uint32(in.Imm)
+		}
+	case isa.Jnz:
+		if m.Pop() != 0 {
+			next = uint32(in.Imm)
+		}
+	case isa.Call:
+		m.Push(next)
+		next = uint32(in.Imm)
+	case isa.Enter:
+		// Advance PC first: a checkpoint taken by a stack grow must resume
+		// *after* the prologue, with the new frame already set up.
+		m.Regs.PC = next
+		if err := m.rt.Enter(m, int(in.Imm)); err != nil {
+			return err
+		}
+	case isa.Leave:
+		if err := m.rt.Leave(m); err != nil {
+			return err
+		}
+		next = m.Regs.PC // Leave sets PC to the return address
+	case isa.SetRV:
+		m.Regs.RV = m.Pop()
+	case isa.GetRV:
+		m.Push(m.Regs.RV)
+	case isa.AddSP:
+		m.Regs.SP += uint32(in.Imm)
+	case isa.Sense:
+		m.Spend(m.Cost.SenseExtra)
+		var v int32
+		if m.sensors != nil {
+			v = m.sensors.Sense(in.Imm, m.TrueNowMs())
+		}
+		m.Push(uint32(v))
+	case isa.Send:
+		rec := SendRec{Value: int32(m.Pop()), TrueMs: m.TrueNowMs(), EstMs: m.clock.Now()}
+		if m.virtualizeSends {
+			// Virtualized I/O: pay the radio cost now, but hold the packet
+			// in the commit queue — it transmits atomically with the next
+			// commit point, so committed sends go out exactly once and
+			// rolled-back sends never leave the device.
+			m.Spend(m.Cost.SendExtra)
+			m.sendPending = append(m.sendPending, rec)
+		} else {
+			m.Spend(m.Cost.SendExtra)
+			m.SendLog = append(m.SendLog, rec)
+		}
+	case isa.Out:
+		m.outPending = append(m.outPending, outEntry{ch: in.Imm, val: int32(m.Pop())})
+	case isa.Mark:
+		addr := m.Img.MarkBase + uint32(4*in.Imm)
+		v := m.Mem.ReadWord(addr)
+		if err := m.rt.LoggedStore(m, addr, 4, v+1); err != nil {
+			return err
+		}
+		if m.OnMark != nil {
+			m.OnMark(in.Imm, m.clock.Now())
+		}
+	case isa.Now:
+		m.Spend(m.Cost.TimeRead)
+		m.Push(uint32(int32(m.clock.Now())))
+	case isa.Chkpt:
+		// Advance PC first so the checkpoint resumes after this
+		// instruction instead of re-taking it forever.
+		m.Regs.PC = next
+		if err := m.rt.Checkpoint(m, CpManual); err != nil {
+			return err
+		}
+	case isa.CpDis:
+		m.CpDisable++
+	case isa.CpEn:
+		if m.CpDisable > 0 {
+			m.CpDisable--
+		}
+	case isa.SetTS:
+		m.Spend(m.Cost.TimestampWrite)
+		addr := m.Pop()
+		if err := m.rt.LoggedStore(m, addr, 4, uint32(int32(m.clock.Now()))); err != nil {
+			return err
+		}
+	case isa.ExpBegin, isa.ExpCatch:
+		m.Spend(m.Cost.TimeRead)
+		dur := int64(int32(m.Pop()))
+		tsAddr := m.Pop()
+		ts := int64(m.Mem.ReadInt(tsAddr))
+		now := m.clock.Now()
+		if now-ts > dur {
+			next = uint32(in.Imm)
+		} else if in.Op == isa.ExpCatch {
+			m.ExpiryArmed = true
+			m.ExpiryDeadline = ts + dur
+			m.ExpiryCatchPC = uint32(in.Imm)
+		}
+	case isa.ExpEnd:
+		m.ExpiryArmed = false
+	case isa.Timely:
+		m.Spend(m.Cost.TimeRead)
+		deadline := int64(int32(m.Pop()))
+		if m.clock.Now() >= deadline {
+			next = uint32(in.Imm)
+		}
+	case isa.TransTo:
+		if err := m.rt.Transition(m, in.Imm); err != nil {
+			return err
+		}
+		next = m.Regs.PC // transitions jump to the next task's entry
+	default:
+		m.Fault("unimplemented opcode %s", in.Op)
+	}
+	m.Regs.PC = next
+	// Timer-driven automatic checkpoints.
+	if m.autoCpCycles > 0 && !m.CpDisabled() && m.sinceCp >= m.autoCpCycles && !m.halted {
+		if err := m.rt.Checkpoint(m, CpTimer); err != nil {
+			return err
+		}
+	}
+	// Armed data-expiration deadline (exception-based @expires/catch).
+	if m.ExpiryArmed && m.clock.Now() >= m.ExpiryDeadline {
+		m.ExpiryArmed = false
+		if err := m.rt.OnExpiry(m); err != nil {
+			return err
+		}
+	}
+	// ISR return: the Leave above brought PC/SP back to the interrupted
+	// point.
+	if m.inISR && m.Regs.PC == m.isrRetPC && m.Regs.SP == m.isrRetSP {
+		m.inISR = false
+		if err := m.rt.OnInterruptReturn(m); err != nil {
+			return err
+		}
+	}
+	// Periodic timer interrupt. Delivery waits out ISRs already running
+	// and atomic time-annotation regions (the runtime masks interrupts
+	// there, as real TICS must to keep the blocks' restore semantics).
+	if m.irqPeriodMs > 0 && m.onMs >= m.nextIrqMs && !m.inISR && !m.CpDisabled() && !m.halted {
+		m.nextIrqMs = m.onMs + m.irqPeriodMs
+		m.inISR = true
+		m.isrRetPC = m.Regs.PC
+		m.isrRetSP = m.Regs.SP
+		m.irqCount++
+		if err := m.rt.OnInterrupt(m, m.irqEntry); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) alu(op isa.Op, l, r uint32) uint32 {
+	li, ri := int32(l), int32(r)
+	b := func(v bool) uint32 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case isa.Add:
+		return l + r
+	case isa.Sub:
+		return l - r
+	case isa.Mul:
+		return l * r
+	case isa.Div:
+		if r == 0 {
+			m.Fault("division by zero")
+		}
+		return uint32(li / ri)
+	case isa.Mod:
+		if r == 0 {
+			m.Fault("modulo by zero")
+		}
+		return uint32(li % ri)
+	case isa.And:
+		return l & r
+	case isa.Or:
+		return l | r
+	case isa.Xor:
+		return l ^ r
+	case isa.Shl:
+		return l << (r & 31)
+	case isa.Shr:
+		return l >> (r & 31)
+	case isa.CmpEq:
+		return b(l == r)
+	case isa.CmpNe:
+		return b(l != r)
+	case isa.CmpLt:
+		return b(li < ri)
+	case isa.CmpLe:
+		return b(li <= ri)
+	case isa.CmpGt:
+		return b(li > ri)
+	case isa.CmpGe:
+		return b(li >= ri)
+	case isa.CmpLtU:
+		return b(l < r)
+	case isa.CmpLeU:
+		return b(l <= r)
+	case isa.CmpGtU:
+		return b(l > r)
+	case isa.CmpGeU:
+		return b(l >= r)
+	}
+	m.Fault("not an ALU op: %s", op)
+	return 0
+}
+
+func (m *Machine) result(completed, starved bool, fault error) Result {
+	m.CommitObservables() // end of run: trailing output is committed
+	res := Result{
+		Completed:    completed,
+		Starved:      starved,
+		TimedOut:     m.timedOut,
+		Fault:        fault,
+		Cycles:       m.cycles,
+		OnMs:         m.onMs,
+		OffMs:        m.offMs,
+		Failures:     m.failures,
+		Restores:     m.restores,
+		Interrupts:   m.irqCount,
+		Checkpoints:  map[string]int64{},
+		RuntimeStats: m.rt.Stats(),
+		SendLog:      m.SendLog,
+		OutLog:       m.OutLog,
+		MemStats:     m.Mem.Stats(),
+	}
+	for k := CpKind(0); k < cpKindCount; k++ {
+		if m.cpCounts[k] > 0 {
+			res.Checkpoints[k.String()] = m.cpCounts[k]
+		}
+		res.TotalCheckpoints += m.cpCounts[k]
+	}
+	for i := 0; i < m.Img.MarkCount; i++ {
+		res.MarkCounts = append(res.MarkCounts, int64(m.Mem.ReadInt(m.Img.MarkBase+uint32(4*i))))
+	}
+	return res
+}
+
+// ReadGlobal reads a named global's word value (test/experiment helper).
+func (m *Machine) ReadGlobal(name string) (int32, error) {
+	addr, ok := m.Img.GlobalAddr(name)
+	if !ok {
+		return 0, fmt.Errorf("vm: no global %q", name)
+	}
+	return m.Mem.ReadInt(addr), nil
+}

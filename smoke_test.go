@@ -1,0 +1,132 @@
+package tics
+
+import (
+	"testing"
+
+	"repro/internal/power"
+)
+
+// smokeSrc exercises the language end to end: recursion, pointers into the
+// stack and globals, arrays, loops, compound assignment.
+const smokeSrc = `
+int gsum;
+int buf[8];
+
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n-1) + fib(n-2);
+}
+
+void swap(int *a, int *b) {
+    *a = *a ^ *b;
+    *b = *a ^ *b;
+    *a = *a ^ *b;
+}
+
+int main() {
+    int i;
+    int x = 3;
+    int y = 40;
+    for (i = 0; i < 8; i++) {
+        buf[i] = i * i;
+    }
+    swap(&x, &y);
+    gsum = 0;
+    for (i = 0; i < 8; i++) {
+        gsum += buf[i];
+    }
+    out(0, fib(10));   // 55
+    out(0, x);         // 40
+    out(0, y);         // 3
+    out(0, gsum);      // 140
+    return 0;
+}
+`
+
+func wantOut(t *testing.T, got []int32, want ...int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("out channel: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSmokePlainContinuous(t *testing.T) {
+	res, err := Run(smokeSrc, BuildOptions{Runtime: RTPlain}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("did not complete: %+v", res)
+	}
+	wantOut(t, res.OutLog[0], 55, 40, 3, 140)
+}
+
+func TestSmokeTICSContinuous(t *testing.T) {
+	res, err := Run(smokeSrc, BuildOptions{Runtime: RTTICS}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("did not complete: %+v", res)
+	}
+	wantOut(t, res.OutLog[0], 55, 40, 3, 140)
+}
+
+func TestSmokeTICSIntermittent(t *testing.T) {
+	img, err := Build(smokeSrc, BuildOptions{Runtime: RTTICS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timer-driven checkpoints (the paper's S1*/S2* configurations)
+	// guarantee forward progress between stack-change checkpoints.
+	for _, every := range []int64{50_000, 9_001, 3_001} {
+		m, err := NewMachine(img, RunOptions{
+			Power:          &power.FailEvery{Cycles: every, OffMs: 20},
+			AutoCpPeriodMs: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("fail-every-%d: %v", every, err)
+		}
+		if !res.Completed {
+			t.Fatalf("fail-every-%d: did not complete (starved=%v failures=%d cycles=%d)",
+				every, res.Starved, res.Failures, res.Cycles)
+		}
+		wantOut(t, res.OutLog[0], 55, 40, 3, 140)
+		if res.Failures == 0 {
+			t.Fatalf("fail-every-%d: expected failures", every)
+		}
+	}
+}
+
+func TestSmokeTICSStarvesBelowRestoreCost(t *testing.T) {
+	// A window smaller than restore + checkpoint cost can never commit
+	// progress; the watchdog must report starvation, not loop forever.
+	img, err := Build(smokeSrc, BuildOptions{Runtime: RTTICS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(img, RunOptions{
+		Power:          &power.FailEvery{Cycles: 400, OffMs: 20},
+		AutoCpPeriodMs: 1,
+		MaxCycles:      5_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Starved || res.Completed {
+		t.Fatalf("expected starvation, got %+v", res)
+	}
+}
