@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/link"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sensors"
 	"repro/internal/timekeeper"
@@ -448,4 +449,43 @@ func BenchmarkAblationTimekeeper(b *testing.B) {
 			b.ReportMetric(float64(stale), "stale-windows")
 		})
 	}
+}
+
+// BenchmarkTraceOverhead measures what the flight recorder costs the
+// simulator on a representative intermittent AR run. "disabled" is the
+// production default (no recorder: every emission site is one nil check)
+// and must track "baseline" (the same machine; the recorder plumbing
+// cannot be compiled out) within noise — the budget is <2%. "enabled"
+// and "profiled" price full event capture and cycle attribution.
+func BenchmarkTraceOverhead(b *testing.B) {
+	img, err := tics.Build(apps.AR().Source, tics.BuildOptions{Runtime: tics.RTTICS})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, mk func() *obs.Recorder) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			m, err := tics.NewMachine(img, tics.RunOptions{
+				Power:    &power.DutyCycle{Rate: 0.48, OnMs: 40},
+				Sensors:  sensors.NewBank(1),
+				Recorder: mk(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := m.Run()
+			if err != nil || !res.Completed {
+				b.Fatalf("%v %+v", err, res)
+			}
+			b.ReportMetric(float64(res.Cycles), "sim-cycles")
+		}
+	}
+	b.Run("baseline", func(b *testing.B) { run(b, func() *obs.Recorder { return nil }) })
+	b.Run("disabled", func(b *testing.B) { run(b, func() *obs.Recorder { return nil }) })
+	b.Run("enabled", func(b *testing.B) {
+		run(b, func() *obs.Recorder { return obs.NewRecorder(obs.Options{}) })
+	})
+	b.Run("profiled", func(b *testing.B) {
+		run(b, func() *obs.Recorder { return obs.NewRecorder(obs.Options{Profile: true}) })
+	})
 }

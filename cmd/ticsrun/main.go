@@ -4,12 +4,21 @@
 //
 //	ticsrun -app bc -runtime tics -power fail:9000 -timer 10
 //	ticsrun -app ghm -runtime plain -power duty:0.48 -wall 30000
+//	ticsrun -app ar -power duty:0.48 -trace ar.json -profile ar.folded
 //	ticsrun -runtime mementos program.c
+//
+// The observability flags attach a flight recorder to the machine:
+// -trace writes Chrome/Perfetto trace_event JSON, -events writes the raw
+// event stream as JSONL, -profile writes folded stacks for flame graphs,
+// and -metrics dumps the metrics registry (plus a cycle-attribution
+// summary) to stdout. Without any of them the recorder is never created
+// and the run pays no observability cost.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -17,9 +26,11 @@ import (
 
 	tics "repro"
 	"repro/internal/apps"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sensors"
 	"repro/internal/timekeeper"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -32,6 +43,12 @@ func main() {
 		segment  = flag.Int("segment", 0, "TICS segment bytes (0 = minimum)")
 		seed     = flag.Uint64("seed", 1, "sensor/power seed")
 		clockArg = flag.String("clock", "perfect", "persistent timekeeper: perfect | rtc:RES_MS | remanence:ERR,MAX_MS")
+
+		traceOut   = flag.String("trace", "", "write Chrome/Perfetto trace_event JSON to FILE")
+		eventsOut  = flag.String("events", "", "write the raw event stream as JSONL to FILE")
+		profileOut = flag.String("profile", "", "write folded stacks (flamegraph.pl input) to FILE")
+		metrics    = flag.Bool("metrics", false, "dump the metrics registry and cycle attribution to stdout")
+		quiet      = flag.Bool("quiet", false, "suppress everything except the send log")
 	)
 	flag.Parse()
 
@@ -76,12 +93,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var rec *obs.Recorder
+	if *traceOut != "" || *eventsOut != "" || *profileOut != "" || *metrics {
+		rec = obs.NewRecorder(obs.Options{Profile: *profileOut != "" || *metrics})
+	}
 	m, err := tics.NewMachine(img, tics.RunOptions{
 		Power:          src2,
 		Clock:          clock,
 		Sensors:        sensors.NewBank(*seed),
 		AutoCpPeriodMs: *timerMs,
 		MaxWallMs:      *wallMs,
+		Recorder:       rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -91,45 +113,94 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ticsrun: fault: %v\n", err)
 	}
 
-	status := "completed"
-	switch {
-	case res.Starved:
-		status = "STARVED"
-	case res.TimedOut:
-		status = "timed out (wall budget)"
-	case res.Fault != nil:
-		status = "FAULT: " + res.Fault.Error()
-	case !res.Completed:
-		status = "did not complete"
+	printResult(os.Stdout, res, *quiet)
+
+	if rec != nil {
+		if err := exportRecorder(rec, *traceOut, *eventsOut, *profileOut); err != nil {
+			fatal(err)
+		}
+		if *metrics {
+			rec.Metrics().Dump(os.Stdout)
+			rec.Profile().WriteSummary(os.Stdout)
+		}
 	}
-	fmt.Printf("status:       %s\n", status)
-	fmt.Printf("cycles:       %d (%.1f ms on, %.1f ms off, %d failures, %d restores)\n",
-		res.Cycles, res.OnMs, res.OffMs, res.Failures, res.Restores)
-	fmt.Printf("checkpoints:  %d %v\n", res.TotalCheckpoints, res.Checkpoints)
-	if len(res.MarkCounts) > 0 {
-		fmt.Printf("marks:        %v\n", res.MarkCounts)
-	}
-	for _, ch := range sortedChannels(res.OutLog) {
-		fmt.Printf("out[%d]:       %v\n", ch, res.OutLog[ch])
+}
+
+// printResult renders a run in deterministic order: fixed-position lines,
+// channels ascending, runtime stats by sorted key. With quiet set only the
+// send log is shown.
+func printResult(w io.Writer, res vm.Result, quiet bool) {
+	if !quiet {
+		status := "completed"
+		switch {
+		case res.Starved:
+			status = "STARVED"
+		case res.TimedOut:
+			status = "timed out (wall budget)"
+		case res.Fault != nil:
+			status = "FAULT: " + res.Fault.Error()
+		case !res.Completed:
+			status = "did not complete"
+		}
+		fmt.Fprintf(w, "status:       %s\n", status)
+		fmt.Fprintf(w, "cycles:       %d (%.1f ms on, %.1f ms off, %d failures, %d restores)\n",
+			res.Cycles, res.OnMs, res.OffMs, res.Failures, res.Restores)
+		fmt.Fprintf(w, "checkpoints:  %d %v\n", res.TotalCheckpoints, res.Checkpoints)
+		if len(res.MarkCounts) > 0 {
+			fmt.Fprintf(w, "marks:        %v\n", res.MarkCounts)
+		}
+		for _, ch := range sortedChannels(res.OutLog) {
+			fmt.Fprintf(w, "out[%d]:       %v\n", ch, res.OutLog[ch])
+		}
 	}
 	if n := len(res.SendLog); n > 0 {
-		fmt.Printf("radio:        %d packets, first %v\n", n, res.SendLog[0].Value)
+		fmt.Fprintf(w, "radio:        %d packets, first %v\n", n, res.SendLog[0].Value)
+	}
+	if quiet {
+		return
 	}
 	if len(res.RuntimeStats) > 0 {
-		var keys []string
+		keys := make([]string, 0, len(res.RuntimeStats))
 		for k := range res.RuntimeStats {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		fmt.Printf("runtime:      ")
+		fmt.Fprintf(w, "runtime:      ")
 		for i, k := range keys {
 			if i > 0 {
-				fmt.Print(", ")
+				fmt.Fprint(w, ", ")
 			}
-			fmt.Printf("%s=%d", k, res.RuntimeStats[k])
+			fmt.Fprintf(w, "%s=%d", k, res.RuntimeStats[k])
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
+	fmt.Fprintf(w, "memory:       %d reads / %d writes (%d B / %d B)\n",
+		res.MemStats.Reads, res.MemStats.Writes, res.MemStats.ReadBytes, res.MemStats.WriteBytes)
+}
+
+// exportRecorder writes whichever trace artifacts were requested.
+func exportRecorder(rec *obs.Recorder, traceOut, eventsOut, profileOut string) error {
+	write := func(path string, fn func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(traceOut, rec.WriteChromeTrace); err != nil {
+		return err
+	}
+	if err := write(eventsOut, rec.WriteJSONL); err != nil {
+		return err
+	}
+	return write(profileOut, rec.Profile().WriteFolded)
 }
 
 func sortedChannels(m map[int32][]int32) []int32 {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func sampleResult() vm.Result {
+	return vm.Result{
+		Completed:        true,
+		Cycles:           1234,
+		OnMs:             1.2,
+		OffMs:            3.4,
+		Failures:         2,
+		Restores:         2,
+		TotalCheckpoints: 5,
+		Checkpoints:      map[string]int64{"manual": 5},
+		MarkCounts:       []int64{1, 2},
+		OutLog:           map[int32][]int32{2: {9}, 0: {7}, 1: {8}},
+		SendLog:          []vm.SendRec{{Value: 42}},
+		RuntimeStats:     map[string]int64{"zeta": 1, "alpha": 2, "mid": 3},
+	}
+}
+
+// The report must be byte-identical across runs: map-ordered output made
+// run-to-run diffs useless.
+func TestPrintResultIsDeterministic(t *testing.T) {
+	var first string
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		printResult(&b, sampleResult(), false)
+		if i == 0 {
+			first = b.String()
+		} else if b.String() != first {
+			t.Fatalf("output differs between runs:\n%s\nvs\n%s", first, b.String())
+		}
+	}
+	if !strings.Contains(first, "alpha=2, mid=3, zeta=1") {
+		t.Fatalf("runtime stats not key-sorted:\n%s", first)
+	}
+	i0 := strings.Index(first, "out[0]")
+	i2 := strings.Index(first, "out[2]")
+	if i0 < 0 || i2 < 0 || i0 > i2 {
+		t.Fatalf("channels not ascending:\n%s", first)
+	}
+}
+
+func TestQuietShowsOnlyTheSendLog(t *testing.T) {
+	var b strings.Builder
+	printResult(&b, sampleResult(), true)
+	out := strings.TrimSpace(b.String())
+	lines := strings.Split(out, "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "radio:") {
+		t.Fatalf("quiet output:\n%s", out)
+	}
+
+	// No sends at all → quiet prints nothing.
+	res := sampleResult()
+	res.SendLog = nil
+	b.Reset()
+	printResult(&b, res, true)
+	if b.Len() != 0 {
+		t.Fatalf("quiet with no sends printed:\n%s", b.String())
+	}
+}

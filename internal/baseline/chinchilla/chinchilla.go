@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/link"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -91,7 +92,7 @@ type Chinchilla struct {
 	active  int
 	epoch   uint32
 	undoLen int
-	stats   map[string]int64
+	reg     *obs.Registry
 }
 
 // New builds the runtime for an image linked with Spec. The image must
@@ -106,7 +107,7 @@ func New(img *link.Image, cfg Config) (*Chinchilla, error) {
 		img:      img,
 		undoCap:  cfg.UndoCapBytes / undoEntry,
 		stackLen: int(img.StackLen),
-		stats:    map[string]int64{},
+		reg:      obs.NewRegistry(),
 	}
 	a := img.RuntimeBase
 	c.addrMagic = a
@@ -129,8 +130,9 @@ func New(img *link.Image, cfg Config) (*Chinchilla, error) {
 // Name implements vm.Runtime.
 func (c *Chinchilla) Name() string { return "chinchilla" }
 
-// Stats implements vm.Runtime.
-func (c *Chinchilla) Stats() map[string]int64 { return c.stats }
+// Stats implements vm.Runtime. The returned map is a defensive snapshot:
+// mutating it cannot corrupt the live counters.
+func (c *Chinchilla) Stats() map[string]int64 { return c.reg.CounterSnapshot() }
 
 // Boot implements vm.Runtime.
 func (c *Chinchilla) Boot(m *vm.Machine, cold bool) error {
@@ -162,6 +164,10 @@ func (c *Chinchilla) restore(m *vm.Machine) error {
 	hdr := m.Mem.ReadWord(c.addrUndoHdr)
 	if hdr>>16 == slotEpoch&0xFFFF {
 		n := int(hdr & 0xFFFF)
+		if n > 0 {
+			m.EmitEvent(obs.EvUndoRollback, int64(n), 0)
+		}
+		m.PushCat(obs.CatUndoLog)
 		for i := n - 1; i >= 0; i-- {
 			m.Spend(m.Cost.UndoRollback)
 			e := c.addrUndo + uint32(i*undoEntry)
@@ -173,8 +179,9 @@ func (c *Chinchilla) restore(m *vm.Machine) error {
 			} else {
 				m.Mem.WriteWord(addr, old)
 			}
-			c.stats["undo-rollbacks"]++
+			c.reg.Inc("undo-rollbacks")
 		}
+		m.PopCat()
 	}
 	m.Spend(m.Cost.NVWritePerWord)
 	m.Mem.WriteWord(c.addrUndoHdr, (slotEpoch&0xFFFF)<<16)
@@ -195,7 +202,7 @@ func (c *Chinchilla) restore(m *vm.Machine) error {
 	}
 	m.CpDisable = int(m.Mem.ReadWord(slot + 16))
 	m.NoteRestore()
-	c.stats["restores"]++
+	c.reg.Inc("restores")
 	return nil
 }
 
@@ -203,9 +210,13 @@ func (c *Chinchilla) restore(m *vm.Machine) error {
 // double-buffered; trigger checkpoints respect the skip heuristic.
 func (c *Chinchilla) Checkpoint(m *vm.Machine, kind vm.CpKind) error {
 	if kind == vm.CpManual && m.SinceCheckpoint() < c.cfg.MinGapCycles {
-		c.stats["skipped-triggers"]++
+		c.reg.Inc("skipped-triggers")
 		return nil
 	}
+	captured := slotMetaLen + int(c.img.StackBase+c.img.StackLen-m.Regs.SP)
+	m.EmitEvent(obs.EvCheckpointBegin, int64(kind), int64(captured))
+	m.ObserveMetric("undo_len_per_epoch", float64(c.undoLen))
+	m.PushCat(obs.CatCheckpoint)
 	m.Spend(m.Cost.CheckpointBase)
 	target := 1 - c.active
 	slot := c.addrSlot[target]
@@ -229,8 +240,9 @@ func (c *Chinchilla) Checkpoint(m *vm.Machine, kind vm.CpKind) error {
 	m.Mem.WriteWord(c.addrUndoHdr, (newEpoch&0xFFFF)<<16)
 	c.epoch = newEpoch
 	c.undoLen = 0
+	m.PopCat()
 	m.NoteCheckpoint(kind)
-	c.stats["checkpoints"]++
+	c.reg.Inc("checkpoints")
 	return nil
 }
 
@@ -240,7 +252,7 @@ func (c *Chinchilla) PreStore(m *vm.Machine) error {
 	if c.undoLen < c.undoCap {
 		return nil
 	}
-	c.stats["forced-checkpoints"]++
+	c.reg.Inc("forced-checkpoints")
 	return c.Checkpoint(m, vm.CpTimer) // bypass the gap gate
 }
 
@@ -251,6 +263,8 @@ func (c *Chinchilla) LoggedStore(m *vm.Machine, addr uint32, size int, value uin
 	if c.undoLen >= c.undoCap {
 		m.Fault("chinchilla: write log overflow")
 	}
+	m.EmitEvent(obs.EvUndoAppend, int64(addr), int64(c.undoLen+1))
+	m.PushCat(obs.CatUndoLog)
 	m.Spend(m.Cost.UndoLogEntry)
 	var old uint32
 	if size == 1 {
@@ -264,8 +278,9 @@ func (c *Chinchilla) LoggedStore(m *vm.Machine, addr uint32, size int, value uin
 	m.Mem.WriteWord(e+8, old)
 	c.undoLen++
 	m.Mem.WriteWord(c.addrUndoHdr, (c.epoch&0xFFFF)<<16|uint32(c.undoLen))
+	m.PopCat()
 	m.RawStore(addr, size, value)
-	c.stats["stores-logged"]++
+	c.reg.Inc("stores-logged")
 	return nil
 }
 

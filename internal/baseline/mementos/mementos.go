@@ -16,6 +16,8 @@ package mementos
 import (
 	"fmt"
 
+	"repro/internal/obs"
+
 	"repro/internal/link"
 	"repro/internal/vm"
 )
@@ -77,7 +79,7 @@ type Mementos struct {
 	addrSlot   [2]uint32
 
 	active int
-	stats  map[string]int64
+	reg    *obs.Registry
 }
 
 // New builds the runtime for an image linked with Spec.
@@ -88,7 +90,7 @@ func New(img *link.Image, cfg Config) (*Mementos, error) {
 		globalsBase: img.GlobalsBase,
 		globalsLen:  int(img.StackBase - img.GlobalsBase),
 		stackLen:    int(img.StackLen),
-		stats:       map[string]int64{},
+		reg:         obs.NewRegistry(),
 	}
 	per := uint32(slotMetaLen + m.stackLen)
 	if cfg.VersionGlobals {
@@ -109,8 +111,9 @@ func New(img *link.Image, cfg Config) (*Mementos, error) {
 // Name implements vm.Runtime.
 func (b *Mementos) Name() string { return "mementos" }
 
-// Stats implements vm.Runtime.
-func (b *Mementos) Stats() map[string]int64 { return b.stats }
+// Stats implements vm.Runtime. The returned map is a defensive snapshot:
+// mutating it cannot corrupt the live counters.
+func (b *Mementos) Stats() map[string]int64 { return b.reg.CounterSnapshot() }
 
 // Boot implements vm.Runtime.
 func (b *Mementos) Boot(m *vm.Machine, cold bool) error {
@@ -151,7 +154,7 @@ func (b *Mementos) restore(m *vm.Machine) error {
 	}
 	m.CpDisable = int(m.Mem.ReadWord(slot + 16))
 	m.NoteRestore()
-	b.stats["restores"]++
+	b.reg.Inc("restores")
 	return nil
 }
 
@@ -176,10 +179,16 @@ func (b *Mementos) Checkpoint(m *vm.Machine, kind vm.CpKind) error {
 		// has not meaningfully dropped since).
 		if m.Remaining() > b.cfg.VoltageThresholdCycles ||
 			m.SinceCheckpoint() < b.cfg.VoltageThresholdCycles {
-			b.stats["skipped-triggers"]++
+			b.reg.Inc("skipped-triggers")
 			return nil
 		}
 	}
+	captured := slotMetaLen + int(b.img.StackBase+b.img.StackLen-m.Regs.SP)
+	if b.cfg.VersionGlobals {
+		captured += b.globalsLen
+	}
+	m.EmitEvent(obs.EvCheckpointBegin, int64(kind), int64(captured))
+	m.PushCat(obs.CatCheckpoint)
 	m.Spend(m.Cost.CheckpointBase)
 	target := 1 - b.active
 	slot := b.addrSlot[target]
@@ -199,8 +208,9 @@ func (b *Mementos) Checkpoint(m *vm.Machine, kind vm.CpKind) error {
 	m.Spend(m.Cost.NVWritePerWord)
 	m.Mem.WriteWord(b.addrActive, uint32(target))
 	b.active = target
+	m.PopCat()
 	m.NoteCheckpoint(kind)
-	b.stats["checkpoints"]++
+	b.reg.Inc("checkpoints")
 	return nil
 }
 

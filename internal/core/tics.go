@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/link"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -138,7 +139,7 @@ type TICS struct {
 	// checkpoint clears it, and Boot starts it fresh — all in sync.
 	loggedBlocks map[uint32]bool
 
-	stats map[string]int64
+	reg *obs.Registry
 }
 
 // New builds a TICS runtime for an image linked with Spec(cfg, ...).
@@ -169,7 +170,7 @@ func New(img *link.Image, cfg Config) (*TICS, error) {
 		undoEntrySize: entrySize,
 		blockBytes:    cfg.UndoBlockBytes,
 		loggedBlocks:  map[uint32]bool{},
-		stats:         map[string]int64{},
+		reg:           obs.NewRegistry(),
 	}
 	if t.numSegs < 1 {
 		return nil, fmt.Errorf("core: stack region of %d B holds no %d B segment", img.StackLen, cfg.SegmentBytes)
@@ -204,8 +205,9 @@ func (t *TICS) NumSegments() int { return t.numSegs }
 // Name implements vm.Runtime.
 func (t *TICS) Name() string { return "tics" }
 
-// Stats implements vm.Runtime.
-func (t *TICS) Stats() map[string]int64 { return t.stats }
+// Stats implements vm.Runtime. The returned map is a defensive snapshot:
+// mutating it cannot corrupt the live counters.
+func (t *TICS) Stats() map[string]int64 { return t.reg.CounterSnapshot() }
 
 // segTop returns one past the highest address of segment i (the stack
 // grows downward through the segment).
@@ -291,13 +293,18 @@ func (t *TICS) restore(m *vm.Machine) error {
 	}
 	m.CpDisable = int(m.Mem.ReadWord(slot + 16))
 	m.NoteRestore()
-	t.stats["restores"]++
+	t.reg.Inc("restores")
 	return nil
 }
 
 // rollback undoes logged stores newest-first. It is idempotent: a failure
 // mid-rollback re-runs it from the same log on the next boot.
 func (t *TICS) rollback(m *vm.Machine, n int) {
+	if n > 0 {
+		m.EmitEvent(obs.EvUndoRollback, int64(n), 0)
+	}
+	m.PushCat(obs.CatUndoLog)
+	defer m.PopCat()
 	for i := n - 1; i >= 0; i-- {
 		m.Spend(m.Cost.UndoRollback)
 		e := t.addrUndo + uint32(i*t.undoEntrySize)
@@ -316,7 +323,7 @@ func (t *TICS) rollback(m *vm.Machine, n int) {
 				m.Mem.WriteWord(addr+uint32(off), m.Mem.ReadWord(e+8+uint32(off)))
 			}
 		}
-		t.stats["undo-rollbacks"]++
+		t.reg.Inc("undo-rollbacks")
 	}
 }
 
@@ -338,18 +345,6 @@ func (t *TICS) Checkpoint(m *vm.Machine, kind vm.CpKind) error {
 	if kind == vm.CpTimer && m.CpDisabled() {
 		return nil
 	}
-	m.Spend(m.Cost.CheckpointBase)
-	target := 1 - t.active
-	slot := t.addrSlot[target]
-	newEpoch := t.epoch + 1
-	m.Spend(7 * m.Cost.NVWritePerWord)
-	m.Mem.WriteWord(slot+0, m.Regs.PC)
-	m.Mem.WriteWord(slot+4, m.Regs.SP)
-	m.Mem.WriteWord(slot+8, m.Regs.FP)
-	m.Mem.WriteWord(slot+12, m.Regs.RV)
-	m.Mem.WriteWord(slot+16, uint32(m.CpDisable))
-	m.Mem.WriteWord(slot+20, uint32(t.working))
-	m.Mem.WriteWord(slot+24, newEpoch)
 	// How much of the segment to capture: everything (fixed worst-case
 	// bound, the paper's design) or just the used tail above SP
 	// (differential checkpoints — cheaper, but variable).
@@ -363,6 +358,21 @@ func (t *TICS) Checkpoint(m *vm.Machine, kind vm.CpKind) error {
 			used = 4
 		}
 	}
+	m.EmitEvent(obs.EvCheckpointBegin, int64(kind), int64(slotMetaLen+used))
+	m.ObserveMetric("undo_len_per_epoch", float64(t.undoLen))
+	m.PushCat(obs.CatCheckpoint)
+	m.Spend(m.Cost.CheckpointBase)
+	target := 1 - t.active
+	slot := t.addrSlot[target]
+	newEpoch := t.epoch + 1
+	m.Spend(7 * m.Cost.NVWritePerWord)
+	m.Mem.WriteWord(slot+0, m.Regs.PC)
+	m.Mem.WriteWord(slot+4, m.Regs.SP)
+	m.Mem.WriteWord(slot+8, m.Regs.FP)
+	m.Mem.WriteWord(slot+12, m.Regs.RV)
+	m.Mem.WriteWord(slot+16, uint32(m.CpDisable))
+	m.Mem.WriteWord(slot+20, uint32(t.working))
+	m.Mem.WriteWord(slot+24, newEpoch)
 	m.Mem.WriteWord(slot+28, uint32(used))
 	// Copy the captured part (charged as the two-phase copy).
 	base := t.segBase(t.working)
@@ -380,8 +390,9 @@ func (t *TICS) Checkpoint(m *vm.Machine, kind vm.CpKind) error {
 	t.epoch = newEpoch
 	t.undoLen = 0
 	t.resetLogged()
+	m.PopCat()
 	m.NoteCheckpoint(kind)
-	t.stats["checkpoints"]++
+	t.reg.Inc("checkpoints")
 	return nil
 }
 
@@ -399,7 +410,7 @@ func (t *TICS) PreStore(m *vm.Machine) error {
 	if m.CpDisabled() {
 		m.Fault("undo log exhausted inside an atomic time-annotation block")
 	}
-	t.stats["forced-checkpoints"]++
+	t.reg.Inc("forced-checkpoints")
 	return t.Checkpoint(m, vm.CpManual)
 }
 
@@ -410,7 +421,7 @@ func (t *TICS) LoggedStore(m *vm.Machine, addr uint32, size int, value uint32) e
 	m.Spend(m.Cost.PtrCheck)
 	if t.inWorking(addr, size) {
 		m.RawStore(addr, size, value)
-		t.stats["stores-direct"]++
+		t.reg.Inc("stores-direct")
 		return nil
 	}
 	if t.blockBytes > 4 {
@@ -419,12 +430,14 @@ func (t *TICS) LoggedStore(m *vm.Machine, addr uint32, size int, value uint32) e
 		block := addr &^ uint32(t.blockBytes-1)
 		if t.loggedBlocks[block] {
 			m.RawStore(addr, size, value)
-			t.stats["stores-block-hit"]++
+			t.reg.Inc("stores-block-hit")
 			return nil
 		}
 		if t.undoLen >= t.undoCap {
 			m.Fault("undo log overflow") // PreStore should have checkpointed
 		}
+		m.EmitEvent(obs.EvUndoAppend, int64(block), int64(t.blockBytes))
+		m.PushCat(obs.CatUndoLog)
 		m.Spend(m.Cost.UndoLogEntry)
 		e := t.addrUndo + uint32(t.undoLen*t.undoEntrySize)
 		m.Mem.WriteWord(e, block)
@@ -437,14 +450,17 @@ func (t *TICS) LoggedStore(m *vm.Machine, addr uint32, size int, value uint32) e
 		}
 		t.undoLen++
 		m.Mem.WriteWord(t.addrUndoHdr, (t.epoch&0xFFFF)<<16|uint32(t.undoLen))
+		m.PopCat()
 		t.loggedBlocks[block] = true
 		m.RawStore(addr, size, value)
-		t.stats["stores-logged"]++
+		t.reg.Inc("stores-logged")
 		return nil
 	}
 	if t.undoLen >= t.undoCap {
 		m.Fault("undo log overflow") // PreStore should have checkpointed
 	}
+	m.EmitEvent(obs.EvUndoAppend, int64(addr), int64(size))
+	m.PushCat(obs.CatUndoLog)
 	m.Spend(m.Cost.UndoLogEntry)
 	var old uint32
 	if size == 1 {
@@ -460,8 +476,9 @@ func (t *TICS) LoggedStore(m *vm.Machine, addr uint32, size int, value uint32) e
 	// then perform the program's store.
 	t.undoLen++
 	m.Mem.WriteWord(t.addrUndoHdr, (t.epoch&0xFFFF)<<16|uint32(t.undoLen))
+	m.PopCat()
 	m.RawStore(addr, size, value)
-	t.stats["stores-logged"]++
+	t.reg.Inc("stores-logged")
 	return nil
 }
 
@@ -481,6 +498,8 @@ func (t *TICS) Enter(m *vm.Machine, fn int) error {
 		if t.working+1 >= t.numSegs {
 			m.Fault("segment array exhausted entering %s (%d segments of %d B)", meta.Name, t.numSegs, t.segBytes)
 		}
+		m.EmitEvent(obs.EvStackGrow, int64(t.working+1), int64(meta.EntryCopyBytes))
+		m.PushCat(obs.CatCheckpoint)
 		m.Spend(m.Cost.StackGrow)
 		copyBytes := meta.EntryCopyBytes
 		oldSP := m.Regs.SP
@@ -498,14 +517,15 @@ func (t *TICS) Enter(m *vm.Machine, fn int) error {
 		m.Mem.WriteWord(ctl, m.Regs.SP) // grow-frame FP marker
 		m.Regs.FP = m.Regs.SP
 		m.Regs.SP -= uint32(meta.LocalBytes)
-		t.stats["stack-grows"]++
+		m.PopCat()
+		t.reg.Inc("stack-grows")
 		// Inside an atomic time-annotation block the restore point must
 		// stay at the block entry (paper §3.2.3: "computation starts from
 		// the if statement after each power failure"), so the stack-change
 		// checkpoint is suppressed; the block-entry checkpoint's segment
 		// copy plus the undo log still cover every write for rollback.
 		if m.CpDisabled() {
-			t.stats["suppressed-grow-cps"]++
+			t.reg.Inc("suppressed-grow-cps")
 			return nil
 		}
 		return t.Checkpoint(m, vm.CpStackGrow)
@@ -529,14 +549,17 @@ func (t *TICS) Leave(m *vm.Machine) error {
 	m.Regs.FP = m.Pop()
 	ret := m.Pop()
 	if isGrowFrame {
+		m.EmitEvent(obs.EvStackShrink, int64(t.working-1), 0)
+		m.PushCat(obs.CatCheckpoint)
 		m.Spend(m.Cost.StackShrink)
 		callerSP := m.Mem.ReadWord(t.addrSegCtl + uint32(t.working*segCtlLen) + 4)
 		t.working--
 		m.Regs.SP = callerSP + 4 // the caller's stack with the return PC popped
 		m.Regs.PC = ret
-		t.stats["stack-shrinks"]++
+		m.PopCat()
+		t.reg.Inc("stack-shrinks")
 		if m.CpDisabled() {
-			t.stats["suppressed-shrink-cps"]++
+			t.reg.Inc("suppressed-shrink-cps")
 			return nil
 		}
 		return t.Checkpoint(m, vm.CpStackShrink)
@@ -552,7 +575,7 @@ func (t *TICS) Leave(m *vm.Machine) error {
 // + registers); re-executing the ExpCatch check then branches into the
 // catch handler because the data is now stale (paper §3.2.3).
 func (t *TICS) OnExpiry(m *vm.Machine) error {
-	t.stats["expiry-restores"]++
+	t.reg.Inc("expiry-restores")
 	return t.restore(m)
 }
 
@@ -570,7 +593,7 @@ func (t *TICS) OnInterrupt(m *vm.Machine, isrEntry uint32) error {
 	m.CpDisable++
 	m.Push(m.Regs.PC)
 	m.Regs.PC = isrEntry
-	t.stats["interrupts"]++
+	t.reg.Inc("interrupts")
 	return nil
 }
 
@@ -581,6 +604,6 @@ func (t *TICS) OnInterruptReturn(m *vm.Machine) error {
 	if m.CpDisable > 0 {
 		m.CpDisable--
 	}
-	t.stats["isr-checkpoints"]++
+	t.reg.Inc("isr-checkpoints")
 	return t.Checkpoint(m, vm.CpManual)
 }

@@ -6,6 +6,7 @@ import (
 
 	tics "repro"
 	"repro/internal/apps"
+	"repro/internal/obs"
 	"repro/internal/sensors"
 )
 
@@ -32,10 +33,14 @@ func fig9Run(src string, build tics.BuildOptions, autoCpMs float64) (int64, int6
 	if err != nil {
 		return 0, 0, err
 	}
+	// The flight recorder rides along (metrics only, tiny ring) so every
+	// figure point is cross-checked against the recorded event stream.
+	rec := obs.NewRecorder(obs.Options{RingCap: 16, Keep: obs.MaskOf(obs.EvPowerFail)})
 	m, err := tics.NewMachine(img, tics.RunOptions{
 		Sensors:        sensors.NewBank(3),
 		AutoCpPeriodMs: autoCpMs,
 		MaxCycles:      3_000_000_000,
+		Recorder:       rec,
 	})
 	if err != nil {
 		return 0, 0, err
@@ -46,6 +51,9 @@ func fig9Run(src string, build tics.BuildOptions, autoCpMs float64) (int64, int6
 	}
 	if !res.Completed {
 		return 0, 0, fmt.Errorf("did not complete (starved=%v)", res.Starved)
+	}
+	if got := rec.Metrics().Counter("checkpoint_commits"); got != res.TotalCheckpoints {
+		return 0, 0, fmt.Errorf("flight recorder disagrees: %d commit events vs %d checkpoints counted", got, res.TotalCheckpoints)
 	}
 	return res.Cycles, res.TotalCheckpoints, nil
 }

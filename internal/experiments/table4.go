@@ -6,6 +6,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/link"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -38,7 +39,8 @@ int main() { leaf(); return 0; }
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := vm.New(vm.Config{Image: img, Runtime: rt})
+	m, err := vm.New(vm.Config{Image: img, Runtime: rt,
+		Recorder: obs.NewRecorder(obs.Options{RingCap: 256})})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -71,7 +73,14 @@ func Table4() (Report, error) {
 		if err := rt.Checkpoint(m, vm.CpManual); err != nil {
 			return Report{}, err
 		}
-		add("Checkpoint logic", label, m.Cycles()-c0)
+		measured := m.Cycles() - c0
+		// Cross-check the measurement against the recorded checkpoint
+		// begin/commit pair: the event-derived latency must agree.
+		if lat, ok := lastCommitLatency(m.Recorder()); !ok || lat != measured {
+			return Report{}, fmt.Errorf("table4 %s: recorded checkpoint latency %d != measured %d cycles",
+				label, lat, measured)
+		}
+		add("Checkpoint logic", label, measured)
 		c0 = m.Cycles()
 		if err := rt.Boot(m, false); err != nil {
 			return Report{}, err
@@ -152,6 +161,18 @@ func Table4() (Report, error) {
 		Text:  text,
 		Data:  map[string]any{"measurements": ms},
 	}, nil
+}
+
+// lastCommitLatency returns the event-derived latency (Arg1) of the most
+// recent checkpoint-commit event in the machine's flight recorder.
+func lastCommitLatency(rec *obs.Recorder) (int64, bool) {
+	evs := rec.Events()
+	for i := len(evs) - 1; i >= 0; i-- {
+		if evs[i].Kind == obs.EvCheckpointCommit {
+			return evs[i].Arg1, true
+		}
+	}
+	return 0, false
 }
 
 // measureCp samples the current checkpoint cost on a scratch basis.

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// jsonlEvent is the JSONL wire form of an Event.
+type jsonlEvent struct {
+	Kind     string  `json:"kind"`
+	Cycles   int64   `json:"cycles"`
+	TrueMs   float64 `json:"true_ms"`
+	DeviceMs int64   `json:"device_ms"`
+	Arg0     int64   `json:"arg0,omitempty"`
+	Arg1     int64   `json:"arg1,omitempty"`
+}
+
+// WriteJSONL exports the retained events as one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(jsonlEvent{
+			Kind:     ev.Kind.String(),
+			Cycles:   ev.Cycles,
+			TrueMs:   ev.TrueMs,
+			DeviceMs: ev.DeviceMs,
+			Arg0:     ev.Arg0,
+			Arg1:     ev.Arg1,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// traceEvent is one Chrome trace_event record; see the Trace Event Format
+// spec (the format Perfetto and chrome://tracing open directly).
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// ChromeTraceEvents converts the retained events into trace_event records
+// on the true wall-clock timeline (1 cycle = 1 µs of on-time; powered-off
+// gaps appear as idle stretches). Checkpoint begin/commit pairs and ISR
+// enter/exit pairs become duration events; everything else is an instant.
+func (r *Recorder) ChromeTraceEvents() []traceEvent {
+	const pid, tid = 1, 1
+	evs := []traceEvent{
+		{Name: "process_name", Phase: "M", PID: pid, TID: tid, Cat: "__metadata",
+			Args: map[string]any{"name": "intermittent-machine"}},
+		{Name: "thread_name", Phase: "M", PID: pid, TID: tid, Cat: "__metadata",
+			Args: map[string]any{"name": "device"}},
+	}
+	var cpBegin *Event
+	for _, ev := range r.Events() {
+		ev := ev
+		ts := ev.TrueMs * 1000
+		switch ev.Kind {
+		case EvCheckpointBegin:
+			cpBegin = &ev
+		case EvCheckpointCommit:
+			te := traceEvent{Name: "checkpoint", Cat: "runtime", Phase: "X", TsUs: ts, PID: pid, TID: tid,
+				Args: map[string]any{"kind": ev.Arg0, "latency_cycles": ev.Arg1}}
+			if cpBegin != nil {
+				te.TsUs = cpBegin.TrueMs * 1000
+				te.DurUs = ts - te.TsUs
+				te.Args["bytes"] = cpBegin.Arg1
+				cpBegin = nil
+			} else {
+				te.Phase, te.Scope = "i", "t"
+			}
+			evs = append(evs, te)
+		case EvISREnter:
+			evs = append(evs, traceEvent{Name: "isr", Cat: "interrupt", Phase: "B", TsUs: ts, PID: pid, TID: tid})
+		case EvISRExit:
+			evs = append(evs, traceEvent{Name: "isr", Cat: "interrupt", Phase: "E", TsUs: ts, PID: pid, TID: tid})
+		default:
+			name, cat, scope := ev.Kind.String(), "machine", "t"
+			switch ev.Kind {
+			case EvPowerFail, EvBoot:
+				cat, scope = "power", "p"
+			case EvUndoAppend, EvUndoRollback, EvStackGrow, EvStackShrink, EvRestore, EvTaskCommit:
+				cat = "runtime"
+			case EvSend, EvExpiry:
+				cat = "io"
+			}
+			evs = append(evs, traceEvent{Name: name, Cat: cat, Phase: "i", TsUs: ts, PID: pid, TID: tid, Scope: scope,
+				Args: map[string]any{"cycles": ev.Cycles, "device_ms": ev.DeviceMs, "arg0": ev.Arg0, "arg1": ev.Arg1}})
+		}
+	}
+	return evs
+}
+
+// WriteChromeTrace exports the retained events as Chrome/Perfetto
+// trace_event JSON; the output opens directly in chrome://tracing or
+// ui.perfetto.dev.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(chromeTrace{TraceEvents: r.ChromeTraceEvents(), DisplayTimeUnit: "ms"}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFolded writes the profile's folded stacks ("(device);main;leaf 42"
+// per line, sorted) — the input format of flamegraph.pl / inferno.
+func (p Profile) WriteFolded(w io.Writer) error {
+	keys := make([]string, 0, len(p.Folded))
+	for k := range p.Folded {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bw := bufio.NewWriter(w)
+	for _, k := range keys {
+		if p.Folded[k] == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d\n", k, p.Folded[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSummary renders the category and top-function breakdown as text.
+func (p Profile) WriteSummary(w io.Writer) {
+	total := p.TotalCycles()
+	fmt.Fprintf(w, "cycles by category (total %d):\n", total)
+	for c := Category(0); c < catCount; c++ {
+		v := p.ByCategory[c.String()]
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(v) / float64(total)
+		}
+		fmt.Fprintf(w, "  %-12s %12d  %5.1f%%\n", c.String(), v, pct)
+	}
+	fmt.Fprintf(w, "re-execution ratio: %.3f\n", p.ReexecRatio())
+	type fc struct {
+		name string
+		c    int64
+	}
+	fns := make([]fc, 0, len(p.ByFunction))
+	for k, v := range p.ByFunction {
+		fns = append(fns, fc{k, v})
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		if fns[i].c != fns[j].c {
+			return fns[i].c > fns[j].c
+		}
+		return fns[i].name < fns[j].name
+	})
+	fmt.Fprintf(w, "cycles by function:\n")
+	for i, f := range fns {
+		if i >= 10 {
+			break
+		}
+		fmt.Fprintf(w, "  %-24s %12d\n", f.name, f.c)
+	}
+}

@@ -1,0 +1,445 @@
+// Package obs is the flight recorder for the simulated intermittent
+// machine: a structured event trace, a cycle-attributed profiler, and a
+// small metrics registry, all dependency-free so every layer of the stack
+// (vm, core, the baselines, the experiment harnesses) can emit into it
+// without import cycles.
+//
+// The design goal is observability that is zero-cost when disabled: a
+// machine without an attached recorder pays only a nil check per
+// emission site, and a recorder never charges simulated cycles — it
+// observes the device, it is not part of it (like ETAP-style host-side
+// timing analysis, the trace is derived from the same deterministic cycle
+// accounting the machine already does).
+//
+// Three views of one run:
+//
+//   - Events: a fixed-capacity ring of typed events (boot, power failure,
+//     checkpoint begin/commit, restore, undo-log append/rollback, stack
+//     grow/shrink, ISR enter/exit, send, expiry trap, task commit),
+//     exportable as JSONL or Chrome/Perfetto trace_event JSON.
+//   - Profile: every consumed cycle attributed twice — by overhead
+//     category (app / checkpoint / restore / undo-log / dead) and by
+//     function (with a shadow call stack for folded-stacks flame graphs).
+//     The category totals partition the machine's total consumed cycles
+//     exactly; "dead" is work that a power failure rolled back.
+//   - Metrics: named counters and fixed-bucket histograms (checkpoint
+//     latency and size, undo-log length per epoch, cycles between
+//     failures) with deterministic, sorted dumps.
+package obs
+
+// EventKind classifies a recorded event.
+type EventKind uint8
+
+const (
+	EvBoot             EventKind = iota // Arg0: 1 = cold boot
+	EvPowerFail                         // Arg0: cycles lost since last commit; Arg1: failure ordinal
+	EvCheckpointBegin                   // Arg0: checkpoint kind; Arg1: bytes captured
+	EvCheckpointCommit                  // Arg0: checkpoint kind; Arg1: latency in cycles
+	EvRestore                           // post-failure (or expiry) state restore completed
+	EvUndoAppend                        // Arg0: logged address; Arg1: entry bytes
+	EvUndoRollback                      // Arg0: entries rolled back
+	EvStackGrow                         // Arg0: new working-segment index
+	EvStackShrink                       // Arg0: new working-segment index
+	EvISREnter                          // Arg0: interrupt ordinal
+	EvISRExit                           //
+	EvSend                              // Arg0: packet value; Arg1: 1 = virtualized (held to commit)
+	EvExpiry                            // Arg0: missed deadline (device ms)
+	EvTaskCommit                        // Arg0: next task index (task-based runtimes)
+	evKindCount
+)
+
+var kindNames = [evKindCount]string{
+	"boot", "power-failure", "checkpoint-begin", "checkpoint-commit",
+	"restore", "undo-append", "undo-rollback", "stack-grow", "stack-shrink",
+	"isr-enter", "isr-exit", "send", "expiry", "task-commit",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "?"
+}
+
+// Mask selects event kinds to keep; bit i keeps EventKind(i).
+type Mask uint32
+
+// MaskAll keeps every event kind.
+const MaskAll Mask = 1<<evKindCount - 1
+
+// MaskOf builds a mask keeping exactly the given kinds.
+func MaskOf(kinds ...EventKind) Mask {
+	var m Mask
+	for _, k := range kinds {
+		m |= 1 << k
+	}
+	return m
+}
+
+// Event is one recorded occurrence. Cycles/TrueMs/DeviceMs snapshot the
+// machine's cycle counter, true wall clock and persistent device clock at
+// emission; Arg0/Arg1 are kind-specific (see the EventKind constants).
+type Event struct {
+	Kind     EventKind
+	Cycles   int64
+	TrueMs   float64
+	DeviceMs int64
+	Arg0     int64
+	Arg1     int64
+}
+
+// Category buckets consumed cycles by what the machine was doing.
+type Category uint8
+
+const (
+	// CatApp is program work (including per-store instrumentation checks).
+	CatApp Category = iota
+	// CatCheckpoint covers checkpoint capture/commit and stack grow/shrink.
+	CatCheckpoint
+	// CatRestore covers boot-time state reconstruction.
+	CatRestore
+	// CatUndoLog covers undo-log appends and rollbacks.
+	CatUndoLog
+	// CatDead is re-executed work: cycles attributed to any category that a
+	// power failure struck before the next commit point. Never pushed
+	// directly — the recorder reclassifies pending cycles on failure.
+	CatDead
+	catCount
+)
+
+var catNames = [catCount]string{"app", "checkpoint", "restore", "undo-log", "dead"}
+
+func (c Category) String() string {
+	if int(c) < len(catNames) {
+		return catNames[c]
+	}
+	return "?"
+}
+
+// Options configures a recorder.
+type Options struct {
+	// RingCap bounds the event ring (default 65536). When full, the oldest
+	// events are overwritten and Dropped() counts them.
+	RingCap int
+	// Profile enables cycle attribution (category, function, folded
+	// stacks). Off, the recorder keeps only events and metrics.
+	Profile bool
+	// Keep selects which event kinds are recorded (zero = MaskAll).
+	// Filtered kinds still update metrics; they just skip the ring.
+	Keep Mask
+}
+
+// Recorder is one machine run's flight recorder. It is not safe for
+// concurrent use; attach a fresh recorder per machine.
+type Recorder struct {
+	ring    []Event
+	head    int // next write position
+	n       int // filled entries
+	dropped int64
+	keep    Mask
+
+	reg *Registry
+
+	profile bool
+	funcs   []string // function names, index-aligned with the image
+
+	catStack []Category
+	pending  [catCount]int64 // attributed since the last commit point
+	byCat    [catCount]int64 // committed attribution
+
+	stack   []int // shadow call stack of function indices
+	foldKey string
+	byFunc  map[int]int64
+	folded  map[string]int64
+
+	cpBeginCycles int64
+	cpBeginMs     float64
+	cpOpen        bool
+	lastFailAt    int64
+}
+
+// NewRecorder builds an enabled recorder.
+func NewRecorder(opts Options) *Recorder {
+	if opts.RingCap <= 0 {
+		opts.RingCap = 1 << 16
+	}
+	if opts.Keep == 0 {
+		opts.Keep = MaskAll
+	}
+	r := &Recorder{
+		ring:     make([]Event, opts.RingCap),
+		keep:     opts.Keep,
+		reg:      NewRegistry(),
+		profile:  opts.Profile,
+		catStack: []Category{CatApp},
+		byFunc:   map[int]int64{},
+		folded:   map[string]int64{},
+	}
+	r.reg.RegisterHistogram("checkpoint_latency_cycles", []float64{64, 128, 256, 512, 1024, 2048, 4096, 8192})
+	r.reg.RegisterHistogram("checkpoint_size_bytes", []float64{16, 32, 64, 128, 256, 512, 1024, 2048})
+	r.reg.RegisterHistogram("cycles_between_failures", []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7})
+	r.reg.RegisterHistogram("undo_len_per_epoch", []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256})
+	r.resetFold()
+	return r
+}
+
+// SetFunctions installs the image's function-name table (index-aligned
+// with the function indices the machine reports). The machine does this
+// when the recorder is attached.
+func (r *Recorder) SetFunctions(names []string) { r.funcs = names }
+
+// Metrics returns the recorder's registry.
+func (r *Recorder) Metrics() *Registry { return r.reg }
+
+// Dropped returns how many events the ring overwrote.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.n)
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// CountKind tallies retained events of one kind.
+func (r *Recorder) CountKind(k EventKind) int64 {
+	var n int64
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.n; i++ {
+		if r.ring[(start+i)%len(r.ring)].Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Emit records one event, updating the derived metrics first (metrics are
+// exact even when the ring drops the event itself).
+func (r *Recorder) Emit(ev Event) {
+	switch ev.Kind {
+	case EvBoot:
+		r.reg.Inc("boots")
+		if ev.Arg0 == 1 {
+			r.reg.Inc("cold_boots")
+		}
+	case EvPowerFail:
+		r.reg.Inc("power_failures")
+		r.reg.Observe("cycles_between_failures", float64(ev.Cycles-r.lastFailAt))
+		r.lastFailAt = ev.Cycles
+	case EvCheckpointBegin:
+		r.cpBeginCycles = ev.Cycles
+		r.cpBeginMs = ev.TrueMs
+		r.cpOpen = true
+		r.reg.Observe("checkpoint_size_bytes", float64(ev.Arg1))
+	case EvCheckpointCommit:
+		r.reg.Inc("checkpoint_commits")
+		if r.cpOpen {
+			ev.Arg1 = ev.Cycles - r.cpBeginCycles
+			r.reg.Observe("checkpoint_latency_cycles", float64(ev.Arg1))
+			r.cpOpen = false
+		}
+	case EvRestore:
+		r.reg.Inc("restores")
+	case EvUndoAppend:
+		r.reg.Inc("undo_appends")
+	case EvUndoRollback:
+		r.reg.Inc("undo_rollbacks")
+		r.reg.Add("undo_entries_rolled_back", ev.Arg0)
+	case EvStackGrow:
+		r.reg.Inc("stack_grows")
+	case EvStackShrink:
+		r.reg.Inc("stack_shrinks")
+	case EvISREnter:
+		r.reg.Inc("isr_entries")
+	case EvSend:
+		r.reg.Inc("sends")
+	case EvExpiry:
+		r.reg.Inc("expiry_traps")
+	case EvTaskCommit:
+		r.reg.Inc("task_commits")
+	}
+	if r.keep&(1<<ev.Kind) == 0 {
+		return
+	}
+	if r.n == len(r.ring) {
+		r.dropped++
+	} else {
+		r.n++
+	}
+	r.ring[r.head] = ev
+	r.head = (r.head + 1) % len(r.ring)
+}
+
+// ---- Cycle attribution ----
+
+// PushCategory enters an overhead category (checkpoint, restore, ...);
+// cycles spent until the matching PopCategory are attributed to it.
+func (r *Recorder) PushCategory(c Category) {
+	if r.profile {
+		r.catStack = append(r.catStack, c)
+	}
+}
+
+// PopCategory leaves the innermost category. A power failure may unwind
+// past pushed categories; OnPowerFail resets the stack, so an unmatched
+// pop is guarded here.
+func (r *Recorder) PopCategory() {
+	if r.profile && len(r.catStack) > 1 {
+		r.catStack = r.catStack[:len(r.catStack)-1]
+	}
+}
+
+// OnSpend attributes c consumed cycles to the current category and the
+// current shadow-stack position. Called by the machine for every Spend.
+func (r *Recorder) OnSpend(c int64) {
+	if !r.profile {
+		return
+	}
+	r.pending[r.catStack[len(r.catStack)-1]] += c
+	r.folded[r.foldKey] += c
+	fn := -1
+	if len(r.stack) > 0 {
+		fn = r.stack[len(r.stack)-1]
+	}
+	r.byFunc[fn] += c
+}
+
+// OnCommit flushes cycles attributed since the last commit point into the
+// committed totals. The machine calls it at every commit (checkpoint,
+// task transition, end of run).
+func (r *Recorder) OnCommit() {
+	if !r.profile {
+		return
+	}
+	for i := range r.pending {
+		r.byCat[i] += r.pending[i]
+		r.pending[i] = 0
+	}
+}
+
+// OnPowerFail reclassifies every cycle attributed since the last commit
+// point as dead (re-executed) work and resets the category stack for the
+// next boot.
+func (r *Recorder) OnPowerFail() {
+	if !r.profile {
+		return
+	}
+	for i := range r.pending {
+		r.byCat[CatDead] += r.pending[i]
+		r.pending[i] = 0
+	}
+	r.catStack = r.catStack[:1]
+	r.catStack[0] = CatApp
+}
+
+// Finish commits trailing attribution; call once after the run.
+func (r *Recorder) Finish() { r.OnCommit() }
+
+// EnterFunc pushes a function onto the shadow call stack.
+func (r *Recorder) EnterFunc(fn int) {
+	if !r.profile {
+		return
+	}
+	r.stack = append(r.stack, fn)
+	r.foldKey += ";" + r.funcName(fn)
+}
+
+// LeaveFunc pops the shadow call stack.
+func (r *Recorder) LeaveFunc() {
+	if !r.profile || len(r.stack) == 0 {
+		return
+	}
+	r.stack = r.stack[:len(r.stack)-1]
+	r.rebuildFold()
+}
+
+// ResetStack re-roots the shadow call stack after a control-flow
+// discontinuity (boot, restore, task transition). fn < 0 leaves the stack
+// empty (the next Enter establishes the frame); ancestry above the live
+// function is unknown after a restore, so folded stacks re-root there.
+func (r *Recorder) ResetStack(fn int) {
+	if !r.profile {
+		return
+	}
+	r.stack = r.stack[:0]
+	if fn >= 0 {
+		r.stack = append(r.stack, fn)
+	}
+	r.rebuildFold()
+}
+
+func (r *Recorder) funcName(fn int) string {
+	if fn >= 0 && fn < len(r.funcs) {
+		return r.funcs[fn]
+	}
+	return "(stub)"
+}
+
+func (r *Recorder) resetFold() { r.foldKey = "(device)" }
+
+func (r *Recorder) rebuildFold() {
+	r.resetFold()
+	for _, fn := range r.stack {
+		r.foldKey += ";" + r.funcName(fn)
+	}
+}
+
+// Profile is the attribution summary.
+type Profile struct {
+	// ByCategory partitions total consumed cycles: app, checkpoint,
+	// restore, undo-log, dead. The values sum to the machine's cycle
+	// counter (after Finish).
+	ByCategory map[string]int64
+	// ByFunction attributes cycles to the function executing when they
+	// were spent ("(stub)" covers the boot stub and boot-time work).
+	ByFunction map[string]int64
+	// Folded maps shadow-stack signatures ("(device);main;leaf") to
+	// cycles — the folded-stacks flame graph input.
+	Folded map[string]int64
+}
+
+// TotalCycles sums the category partition.
+func (p Profile) TotalCycles() int64 {
+	var t int64
+	for _, v := range p.ByCategory {
+		t += v
+	}
+	return t
+}
+
+// ReexecRatio is dead cycles over total cycles.
+func (p Profile) ReexecRatio() float64 {
+	t := p.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.ByCategory[CatDead.String()]) / float64(t)
+}
+
+// Profile snapshots the attribution (call Finish first for exact totals).
+func (r *Recorder) Profile() Profile {
+	p := Profile{
+		ByCategory: make(map[string]int64, catCount),
+		ByFunction: make(map[string]int64, len(r.byFunc)),
+		Folded:     make(map[string]int64, len(r.folded)),
+	}
+	for i, v := range r.byCat {
+		p.ByCategory[Category(i).String()] = v + r.pending[i]
+	}
+	for fn, v := range r.byFunc {
+		p.ByFunction[r.funcName(fn)] += v
+	}
+	for k, v := range r.folded {
+		p.Folded[k] = v
+	}
+	return p
+}

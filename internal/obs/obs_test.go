@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingRetainsTailAndCountsDrops(t *testing.T) {
+	r := NewRecorder(Options{RingCap: 4})
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: EvSend, Cycles: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Cycles != int64(6+i) {
+			t.Fatalf("event %d has cycles %d, want %d (oldest-first tail)", i, ev.Cycles, 6+i)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", r.Dropped())
+	}
+	if r.Metrics().Counter("sends") != 10 {
+		t.Fatalf("metrics must be exact despite drops: sends=%d", r.Metrics().Counter("sends"))
+	}
+}
+
+func TestMaskFiltersRingNotMetrics(t *testing.T) {
+	r := NewRecorder(Options{Keep: MaskOf(EvCheckpointCommit)})
+	r.Emit(Event{Kind: EvUndoAppend})
+	r.Emit(Event{Kind: EvCheckpointCommit, Cycles: 5})
+	if n := len(r.Events()); n != 1 {
+		t.Fatalf("ring kept %d events, want 1", n)
+	}
+	if r.Metrics().Counter("undo_appends") != 1 {
+		t.Fatal("filtered kinds must still update metrics")
+	}
+	if r.CountKind(EvCheckpointCommit) != 1 {
+		t.Fatal("kept kind missing from ring")
+	}
+}
+
+func TestCounterSnapshotIsDefensive(t *testing.T) {
+	g := NewRegistry()
+	g.Inc("x")
+	snap := g.CounterSnapshot()
+	snap["x"] = 999
+	snap["injected"] = 1
+	if g.Counter("x") != 1 {
+		t.Fatalf("mutating the snapshot corrupted the live counter: %d", g.Counter("x"))
+	}
+	if g.Counter("injected") != 0 {
+		t.Fatal("snapshot writes leaked into the registry")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	for _, v := range []float64{1, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 1} // <=10, <=100, overflow
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Count != 4 || h.Min != 1 || h.Max != 1000 {
+		t.Fatalf("summary stats: %+v", h)
+	}
+	if h.Mean() != (1+10+11+1000)/4.0 {
+		t.Fatalf("mean %g", h.Mean())
+	}
+}
+
+func TestRegistryDumpIsDeterministic(t *testing.T) {
+	g := NewRegistry()
+	g.Inc("b")
+	g.Inc("a")
+	g.Observe("lat", 3)
+	var b1, b2 bytes.Buffer
+	g.Dump(&b1)
+	g.Dump(&b2)
+	if b1.String() != b2.String() {
+		t.Fatal("two dumps of the same registry differ")
+	}
+	if strings.Index(b1.String(), "counter a") > strings.Index(b1.String(), "counter b") {
+		t.Fatalf("counters not sorted:\n%s", b1.String())
+	}
+}
+
+func TestCategoryPartition(t *testing.T) {
+	r := NewRecorder(Options{Profile: true})
+	r.OnSpend(10) // app
+	r.PushCategory(CatCheckpoint)
+	r.OnSpend(7)
+	r.PopCategory()
+	r.OnSpend(3) // app again, then a power failure strikes
+	r.OnPowerFail()
+	r.PushCategory(CatRestore)
+	r.OnSpend(5)
+	r.PopCategory()
+	r.OnSpend(2)
+	r.Finish()
+	p := r.Profile()
+	if p.ByCategory[CatDead.String()] != 20 {
+		t.Fatalf("dead = %d, want 20 (all pre-failure work)", p.ByCategory[CatDead.String()])
+	}
+	if p.ByCategory[CatRestore.String()] != 5 || p.ByCategory[CatApp.String()] != 2 {
+		t.Fatalf("partition: %v", p.ByCategory)
+	}
+	if p.TotalCycles() != 27 {
+		t.Fatalf("total %d, want 27", p.TotalCycles())
+	}
+	if got := p.ReexecRatio(); got != 20.0/27.0 {
+		t.Fatalf("reexec ratio %g", got)
+	}
+}
+
+func TestProfileIncludesPendingCycles(t *testing.T) {
+	r := NewRecorder(Options{Profile: true})
+	r.OnSpend(4)
+	// No Finish: a mid-run snapshot must still account every cycle.
+	if r.Profile().TotalCycles() != 4 {
+		t.Fatalf("pending cycles missing from snapshot: %d", r.Profile().TotalCycles())
+	}
+}
+
+func TestShadowStackFolding(t *testing.T) {
+	r := NewRecorder(Options{Profile: true})
+	r.SetFunctions([]string{"main", "leaf"})
+	r.OnSpend(1)   // boot stub
+	r.EnterFunc(0) // main
+	r.OnSpend(2)
+	r.EnterFunc(1) // leaf
+	r.OnSpend(3)
+	r.LeaveFunc()
+	r.OnSpend(4)
+	r.Finish()
+	p := r.Profile()
+	if p.Folded["(device)"] != 1 || p.Folded["(device);main"] != 6 || p.Folded["(device);main;leaf"] != 3 {
+		t.Fatalf("folded: %v", p.Folded)
+	}
+	if p.ByFunction["main"] != 6 || p.ByFunction["leaf"] != 3 || p.ByFunction["(stub)"] != 1 {
+		t.Fatalf("by function: %v", p.ByFunction)
+	}
+	// A restore re-roots the stack at the live function.
+	r.ResetStack(1)
+	r.OnSpend(9)
+	if r.Profile().Folded["(device);leaf"] != 9 {
+		t.Fatalf("re-rooted folding: %v", r.Profile().Folded)
+	}
+}
+
+func TestCheckpointLatencyPairing(t *testing.T) {
+	r := NewRecorder(Options{})
+	r.Emit(Event{Kind: EvCheckpointBegin, Cycles: 100, Arg1: 64})
+	r.Emit(Event{Kind: EvCheckpointCommit, Cycles: 140})
+	evs := r.Events()
+	if evs[1].Arg1 != 40 {
+		t.Fatalf("commit latency %d, want 40", evs[1].Arg1)
+	}
+	h := r.Metrics().Histogram("checkpoint_latency_cycles")
+	if h.Count != 1 || h.Sum != 40 {
+		t.Fatalf("latency histogram: %+v", h)
+	}
+	if s := r.Metrics().Histogram("checkpoint_size_bytes"); s.Count != 1 || s.Sum != 64 {
+		t.Fatalf("size histogram: %+v", s)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := NewRecorder(Options{})
+	r.Emit(Event{Kind: EvBoot, Arg0: 1})
+	r.Emit(Event{Kind: EvSend, Cycles: 10, TrueMs: 0.01, Arg0: 42})
+	var b bytes.Buffer
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["kind"] != "send" || obj["arg0"] != float64(42) {
+		t.Fatalf("line: %v", obj)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	r := NewRecorder(Options{})
+	r.Emit(Event{Kind: EvCheckpointBegin, Cycles: 0, TrueMs: 1})
+	r.Emit(Event{Kind: EvCheckpointCommit, Cycles: 50, TrueMs: 1.05})
+	r.Emit(Event{Kind: EvISREnter, TrueMs: 2})
+	r.Emit(Event{Kind: EvISRExit, TrueMs: 2.1})
+	r.Emit(Event{Kind: EvPowerFail, TrueMs: 3})
+	var b bytes.Buffer
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TsUs  float64 `json:"ts"`
+			DurUs float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid trace JSON: %v", err)
+	}
+	byName := map[string]string{}
+	for _, te := range doc.TraceEvents {
+		byName[te.Name+"/"+te.Phase] = te.Name
+		if te.Name == "checkpoint" && te.Phase == "X" && te.DurUs != 50 {
+			t.Fatalf("checkpoint duration %g µs, want 50", te.DurUs)
+		}
+	}
+	for _, want := range []string{"checkpoint/X", "isr/B", "isr/E", "power-failure/i", "process_name/M"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("missing %s in %v", want, byName)
+		}
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	p := Profile{Folded: map[string]int64{"(device);main": 7, "(device)": 0, "(device);a": 1}}
+	var b bytes.Buffer
+	if err := p.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "(device);a 1\n(device);main 7\n" {
+		t.Fatalf("folded output:\n%s", b.String())
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Registry is a small, dependency-free metrics registry: named counters,
+// gauges, and fixed-bucket histograms. It replaces the ad-hoc
+// map[string]int64 stats plumbing: runtimes keep a Registry and expose
+// the old map through CounterSnapshot, which is a defensive copy — a
+// caller mutating the returned map can no longer corrupt live counters.
+//
+// Not safe for concurrent use; every machine/runtime owns its own.
+type Registry struct {
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Inc adds 1 to a counter, creating it at zero first.
+func (g *Registry) Inc(name string) { g.counters[name]++ }
+
+// Add adds d to a counter.
+func (g *Registry) Add(name string, d int64) { g.counters[name] += d }
+
+// Counter reads a counter (0 if absent).
+func (g *Registry) Counter(name string) int64 { return g.counters[name] }
+
+// SetGauge sets a gauge to v.
+func (g *Registry) SetGauge(name string, v float64) { g.gauges[name] = v }
+
+// Gauge reads a gauge (0 if absent).
+func (g *Registry) Gauge(name string) float64 { return g.gauges[name] }
+
+// RegisterHistogram creates a histogram with the given ascending upper
+// bucket bounds (an implicit +Inf bucket is appended). Re-registering an
+// existing name keeps the existing histogram.
+func (g *Registry) RegisterHistogram(name string, bounds []float64) *Histogram {
+	if h, ok := g.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(bounds)
+	g.hists[name] = h
+	return h
+}
+
+// Observe records v into a histogram, creating it with default
+// power-of-four bounds when it does not exist yet.
+func (g *Registry) Observe(name string, v float64) {
+	h, ok := g.hists[name]
+	if !ok {
+		h = g.RegisterHistogram(name, defaultBounds())
+	}
+	h.Observe(v)
+}
+
+// Histogram returns a registered histogram (nil if absent).
+func (g *Registry) Histogram(name string) *Histogram { return g.hists[name] }
+
+// CounterSnapshot returns a fresh copy of all counters — the
+// vm.Runtime.Stats compatibility shim.
+func (g *Registry) CounterSnapshot() map[string]int64 {
+	out := make(map[string]int64, len(g.counters))
+	for k, v := range g.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Dump writes every metric in deterministic sorted order.
+func (g *Registry) Dump(w io.Writer) {
+	for _, k := range sortedKeys(g.counters) {
+		fmt.Fprintf(w, "counter %-32s %d\n", k, g.counters[k])
+	}
+	for _, k := range sortedKeys(g.gauges) {
+		fmt.Fprintf(w, "gauge   %-32s %g\n", k, g.gauges[k])
+	}
+	hk := make([]string, 0, len(g.hists))
+	for k := range g.hists {
+		hk = append(hk, k)
+	}
+	sort.Strings(hk)
+	for _, k := range hk {
+		h := g.hists[k]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "hist    %-32s %s\n", k, h.Summary())
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func defaultBounds() []float64 {
+	b := make([]float64, 0, 11)
+	for v := 1.0; v <= 1<<20; v *= 4 {
+		b = append(b, v)
+	}
+	return b
+}
+
+// Histogram is a fixed-bucket histogram: Counts[i] tallies observations
+// v <= Bounds[i]; the last bucket catches everything above the top bound.
+type Histogram struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+	Min    float64
+	Max    float64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{
+		Bounds: b,
+		Counts: make([]int64, len(b)+1),
+		Min:    math.Inf(1),
+		Max:    math.Inf(-1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.Bounds, v)
+	h.Counts[i]++
+	h.Count++
+	h.Sum += v
+	if v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the running mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Summary renders count/mean/min/max plus the non-empty buckets.
+func (h *Histogram) Summary() string {
+	if h.Count == 0 {
+		return "empty"
+	}
+	s := fmt.Sprintf("n=%d mean=%.1f min=%g max=%g buckets[", h.Count, h.Mean(), h.Min, h.Max)
+	first := true
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			s += " "
+		}
+		first = false
+		if i < len(h.Bounds) {
+			s += fmt.Sprintf("<=%g:%d", h.Bounds[i], c)
+		} else {
+			s += fmt.Sprintf(">%g:%d", h.Bounds[len(h.Bounds)-1], c)
+		}
+	}
+	return s + "]"
+}

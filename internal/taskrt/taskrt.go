@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/link"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -156,7 +157,7 @@ type Runtime struct {
 
 	cur     int
 	undoLen int
-	stats   map[string]int64
+	reg     *obs.Registry
 }
 
 // New builds a task runtime for an image linked with Spec(cfg). Every task
@@ -179,7 +180,7 @@ func New(img *link.Image, cfg Config) (*Runtime, error) {
 		profile: profiles[cfg.Kind],
 		img:     img,
 		undoCap: cfg.UndoCapBytes / undoEntry,
-		stats:   map[string]int64{},
+		reg:     obs.NewRegistry(),
 	}
 	for _, name := range cfg.Tasks {
 		found := false
@@ -214,8 +215,9 @@ func New(img *link.Image, cfg Config) (*Runtime, error) {
 // Name implements vm.Runtime.
 func (r *Runtime) Name() string { return r.cfg.Kind.String() }
 
-// Stats implements vm.Runtime.
-func (r *Runtime) Stats() map[string]int64 { return r.stats }
+// Stats implements vm.Runtime. The returned map is a defensive snapshot:
+// mutating it cannot corrupt the live counters.
+func (r *Runtime) Stats() map[string]int64 { return r.reg.CounterSnapshot() }
 
 // haltPC is the Halt instruction in the boot stub — the dummy return
 // address for task frames, so a task that returns without transitioning
@@ -249,6 +251,10 @@ func (r *Runtime) Boot(m *vm.Machine, cold bool) error {
 	hdr := m.Mem.ReadWord(r.addrHdr)
 	n := int(hdr >> 16)
 	r.cur = int(hdr & 0xFFFF)
+	if n > 0 {
+		m.EmitEvent(obs.EvUndoRollback, int64(n), 0)
+	}
+	m.PushCat(obs.CatUndoLog)
 	for i := n - 1; i >= 0; i-- {
 		m.Spend(m.Cost.UndoRollback)
 		e := r.addrUndo + uint32(i*undoEntry)
@@ -260,12 +266,13 @@ func (r *Runtime) Boot(m *vm.Machine, cold bool) error {
 		} else {
 			m.Mem.WriteWord(addr, old)
 		}
-		r.stats["undo-rollbacks"]++
+		r.reg.Inc("undo-rollbacks")
 	}
+	m.PopCat()
 	m.Spend(m.Cost.NVWritePerWord)
 	m.Mem.WriteWord(r.addrHdr, uint32(r.cur)&0xFFFF)
 	r.undoLen = 0
-	r.stats["task-restarts"]++
+	r.reg.Inc("task-restarts")
 	m.NoteRestore()
 	if r.cfg.Kind == MayFly {
 		r.checkTokens(m)
@@ -285,7 +292,7 @@ func (r *Runtime) checkTokens(m *vm.Machine) {
 		m.Spend(m.Cost.TimeRead)
 		ts := int64(m.Mem.ReadInt(r.addrToken + uint32(4*i)))
 		if now-ts > e.ExpireMs {
-			r.stats["expired-tokens"]++
+			r.reg.Inc("expired-tokens")
 			r.cur = e.OnExpired
 			m.Spend(m.Cost.NVWritePerWord)
 			m.Mem.WriteWord(r.addrHdr, uint32(r.cur)&0xFFFF)
@@ -317,12 +324,13 @@ func (r *Runtime) Transition(m *vm.Machine, task int32) error {
 			}
 		}
 	}
+	m.ObserveMetric("undo_len_per_epoch", float64(r.undoLen))
 	r.cur = int(task)
 	r.undoLen = 0
 	m.Spend(m.Cost.NVWritePerWord)
 	m.Mem.WriteWord(r.addrHdr, uint32(r.cur)&0xFFFF) // atomic commit
 	m.CommitObservables()
-	r.stats["transitions"]++
+	r.reg.Inc("transitions")
 	if r.cfg.Kind == MayFly {
 		r.checkTokens(m)
 	}
@@ -342,6 +350,8 @@ func (r *Runtime) PreStore(m *vm.Machine) error {
 // LoggedStore implements vm.Runtime: privatize-on-first-write, modeled as
 // a write-ahead log entry cleared at the transition commit.
 func (r *Runtime) LoggedStore(m *vm.Machine, addr uint32, size int, value uint32) error {
+	m.EmitEvent(obs.EvUndoAppend, int64(addr), int64(r.undoLen+1))
+	m.PushCat(obs.CatUndoLog)
 	m.Spend(r.profile.privatizeCycles)
 	var old uint32
 	if size == 1 {
@@ -355,8 +365,9 @@ func (r *Runtime) LoggedStore(m *vm.Machine, addr uint32, size int, value uint32
 	m.Mem.WriteWord(e+8, old)
 	r.undoLen++
 	m.Mem.WriteWord(r.addrHdr, uint32(r.undoLen)<<16|uint32(r.cur)&0xFFFF)
+	m.PopCat()
 	m.RawStore(addr, size, value)
-	r.stats["stores-versioned"]++
+	r.reg.Inc("stores-versioned")
 	return nil
 }
 

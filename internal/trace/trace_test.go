@@ -6,6 +6,7 @@ import (
 	tics "repro"
 	"repro/internal/power"
 	"repro/internal/trace"
+	"repro/internal/vm"
 )
 
 // A compact sampling program with one annotated slot: fresh on continuous
@@ -74,6 +75,66 @@ func TestTICSStaysCleanUnderFailures(t *testing.T) {
 	det := runWithDetector(t, &power.FailEvery{Cycles: 4000, OffMs: 150})
 	if det.Misalign.Observed != 0 || det.Expired.Observed != 0 {
 		t.Fatalf("TICS produced violations: %+v %+v", det.Misalign, det.Expired)
+	}
+}
+
+// TestRebootMidWindowDiscardsPending pins the detector's pending/commit/
+// discard semantics by driving the machine hooks directly: tallies
+// observed between a checkpoint and a power failure belong to an
+// execution the runtime rolled back, so the restore must discard them —
+// otherwise replayed code double-counts and aborted consumes count as
+// violations that never committed.
+func TestRebootMidWindowDiscardsPending(t *testing.T) {
+	img, err := tics.Build(src, tics.BuildOptions{Runtime: tics.RTTICS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tics.NewMachine(img, tics.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := trace.Attach(m, img.Image, trace.Config{
+		Pairs:       []trace.Pair{{DataName: "data"}},
+		ConsumeMark: 0,
+		FreshnessMs: 100,
+		AlignMs:     20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := img.Image.Program.Global("data")
+	if !ok {
+		t.Fatal("no data global")
+	}
+	addr := img.Image.GlobalsBase + g.Offset
+
+	// A committed sample: store, then the checkpoint commits it.
+	m.OnStore(addr, 4, 1, 0)
+	m.OnCheckpoint(vm.CpManual)
+	if det.Misalign.Potential != 1 {
+		t.Fatalf("committed potential = %d, want 1", det.Misalign.Potential)
+	}
+
+	// Mid-window events: a store and a consume whose stale timestamp would
+	// count as both misaligned and expired — but power fails before the
+	// next checkpoint, so the restore discards all of it.
+	m.OnStore(addr, 4, 2, 1000)
+	m.OnMark(0, 5000)
+	m.OnRestore()
+	det.Finish()
+	if det.Misalign.Potential != 1 || det.Misalign.Observed != 0 || det.Expired.Observed != 0 {
+		t.Fatalf("discarded window leaked into committed counts: %+v %+v", det.Misalign, det.Expired)
+	}
+
+	// The replayed window reaches a checkpoint this time: now it counts.
+	m.OnStore(addr, 4, 2, 1000)
+	m.OnMark(0, 5000)
+	m.OnCheckpoint(vm.CpManual)
+	if det.Misalign.Observed == 0 || det.Expired.Observed == 0 {
+		t.Fatalf("committed window not counted: %+v %+v", det.Misalign, det.Expired)
+	}
+	if det.Misalign.Potential != 2 {
+		t.Fatalf("potential = %d, want 2 (no double-count from the replay)", det.Misalign.Potential)
 	}
 }
 

@@ -1,5 +1,7 @@
 package vm
 
+import "repro/internal/obs"
+
 // Plain is the unprotected runtime: a conventional C runtime with no
 // intermittency support. Under continuous power it is the correctness
 // oracle every protected runtime is compared against. Under intermittent
@@ -7,11 +9,11 @@ package vm
 // globals keep their last (possibly half-updated) values — the legacy-code
 // failure mode that motivates the paper.
 type Plain struct {
-	stats map[string]int64
+	reg *obs.Registry
 }
 
 // NewPlain returns a fresh plain runtime.
-func NewPlain() *Plain { return &Plain{stats: map[string]int64{}} }
+func NewPlain() *Plain { return &Plain{reg: obs.NewRegistry()} }
 
 // Name implements Runtime.
 func (p *Plain) Name() string { return "plain" }
@@ -20,7 +22,7 @@ func (p *Plain) Name() string { return "plain" }
 // entry stub with an empty stack.
 func (p *Plain) Boot(m *Machine, cold bool) error {
 	if !cold {
-		p.stats["restarts"]++
+		p.reg.Inc("restarts")
 	}
 	m.Regs = Registers{
 		PC: m.Img.EntryPC,
@@ -88,5 +90,6 @@ func (p *Plain) OnInterrupt(m *Machine, isrEntry uint32) error {
 // OnInterruptReturn implements Runtime as a no-op.
 func (p *Plain) OnInterruptReturn(m *Machine) error { return nil }
 
-// Stats implements Runtime.
-func (p *Plain) Stats() map[string]int64 { return p.stats }
+// Stats implements Runtime. The returned map is a defensive snapshot:
+// mutating it cannot corrupt the live counters.
+func (p *Plain) Stats() map[string]int64 { return p.reg.CounterSnapshot() }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/link"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/timekeeper"
 )
@@ -94,7 +95,9 @@ type Runtime interface {
 	// OnInterruptReturn runs right after the ISR's return-from-interrupt
 	// (TICS places an implicit checkpoint here, §4).
 	OnInterruptReturn(m *Machine) error
-	// Stats returns runtime-specific counters for experiment reports.
+	// Stats returns runtime-specific counters for experiment reports. The
+	// returned map must be a defensive copy: callers may mutate it without
+	// corrupting the runtime's live counters.
 	Stats() map[string]int64
 }
 
@@ -157,6 +160,10 @@ type Config struct {
 	// names as future work. Off by default: the raw radio duplicates
 	// replayed sends, as real hardware does.
 	VirtualizeSends bool
+	// Recorder attaches a flight recorder (event trace, cycle profiler,
+	// metrics). Nil disables observability entirely; every emission site
+	// then costs a single pointer check.
+	Recorder *obs.Recorder
 }
 
 // Machine is the simulated MCU.
@@ -230,11 +237,15 @@ type Machine struct {
 	outPending []outEntry
 
 	decoded map[uint32]decodedInstr
+
+	// rec is the attached flight recorder (nil when observability is off).
+	rec *obs.Recorder
 }
 
 type decodedInstr struct {
 	in   isa.Instr
 	next uint32
+	fn   int // enclosing function index (-1 for the boot stub)
 }
 
 type outEntry struct {
@@ -309,6 +320,9 @@ func New(cfg Config) (*Machine, error) {
 		m.irqPeriodMs = cfg.InterruptPeriodMs
 		m.nextIrqMs = m.onMs + m.irqPeriodMs
 	}
+	if cfg.Recorder != nil {
+		m.AttachRecorder(cfg.Recorder)
+	}
 	return m, nil
 }
 
@@ -320,16 +334,105 @@ func (m *Machine) decodeText() error {
 		if err != nil {
 			return err
 		}
-		m.decoded[m.Img.TextBase+uint32(off)] = decodedInstr{in: in, next: m.Img.TextBase + uint32(next)}
+		addr := m.Img.TextBase + uint32(off)
+		m.decoded[addr] = decodedInstr{in: in, next: m.Img.TextBase + uint32(next), fn: m.fnAt(addr)}
 		off = next
 	}
 	return nil
+}
+
+// fnAt resolves an instruction address to its enclosing function index
+// (-1 for the boot stub). Function bodies are laid out contiguously in
+// image order, so the enclosing function is the last one whose entry is
+// at or below addr.
+func (m *Machine) fnAt(addr uint32) int {
+	fn := -1
+	for i, f := range m.Img.Funcs {
+		if f.Entry > addr {
+			break
+		}
+		fn = i
+	}
+	return fn
 }
 
 // ---- Accessors used by runtimes ----
 
 // Runtime returns the installed runtime.
 func (m *Machine) Runtime() Runtime { return m.rt }
+
+// AttachRecorder wires a flight recorder to the machine (nil detaches).
+// Call before Run; the machine installs the image's function-name table
+// so the recorder's profiler can resolve symbols.
+func (m *Machine) AttachRecorder(rec *obs.Recorder) {
+	m.rec = rec
+	if rec == nil {
+		return
+	}
+	names := make([]string, len(m.Img.Funcs))
+	for i, f := range m.Img.Funcs {
+		names[i] = f.Name
+	}
+	rec.SetFunctions(names)
+}
+
+// Recorder returns the attached flight recorder (nil when disabled).
+func (m *Machine) Recorder() *obs.Recorder { return m.rec }
+
+// EmitEvent records a flight-recorder event stamped with the machine's
+// cycle counter and clocks. A no-op without an attached recorder —
+// runtimes call this unconditionally.
+func (m *Machine) EmitEvent(kind obs.EventKind, a0, a1 int64) {
+	if m.rec == nil {
+		return
+	}
+	m.rec.Emit(obs.Event{
+		Kind:     kind,
+		Cycles:   m.cycles,
+		TrueMs:   m.TrueNowMs(),
+		DeviceMs: m.clock.Now(),
+		Arg0:     a0,
+		Arg1:     a1,
+	})
+}
+
+// PushCat / PopCat bracket a runtime operation so the profiler attributes
+// its cycles to the given overhead category. No-ops without a recorder.
+func (m *Machine) PushCat(c obs.Category) {
+	if m.rec != nil {
+		m.rec.PushCategory(c)
+	}
+}
+
+// PopCat leaves the innermost profiler category.
+func (m *Machine) PopCat() {
+	if m.rec != nil {
+		m.rec.PopCategory()
+	}
+}
+
+// ObserveMetric records a histogram observation in the recorder's metrics
+// registry (no-op without a recorder).
+func (m *Machine) ObserveMetric(name string, v float64) {
+	if m.rec != nil {
+		m.rec.Metrics().Observe(name, v)
+	}
+}
+
+// resetRecStack re-roots the profiler's shadow call stack at the current
+// PC after a control-flow discontinuity (boot, restore, task switch).
+// When PC sits exactly on an Enter instruction the frame is about to be
+// pushed by its execution, so the seed stays empty.
+func (m *Machine) resetRecStack() {
+	if m.rec == nil {
+		return
+	}
+	fn := -1
+	if d, ok := m.decoded[m.Regs.PC]; ok && d.in.Op != isa.Enter {
+		fn = d.fn
+	}
+	m.rec.ResetStack(fn)
+}
 
 // CpDisabled reports whether automatic checkpoints are currently
 // suppressed by an atomic time-annotation region.
@@ -357,6 +460,7 @@ func (m *Machine) NoteCheckpoint(kind CpKind) {
 	m.cpCounts[kind]++
 	m.sinceCp = 0
 	m.CommitObservables()
+	m.EmitEvent(obs.EvCheckpointCommit, int64(kind), 0)
 	if m.OnCheckpoint != nil {
 		m.OnCheckpoint(kind)
 	}
@@ -367,6 +471,9 @@ func (m *Machine) NoteCheckpoint(kind CpKind) {
 // whose commit point is not a checkpoint (task transitions) call it
 // directly.
 func (m *Machine) CommitObservables() {
+	if m.rec != nil {
+		m.rec.OnCommit()
+	}
 	for _, e := range m.outPending {
 		m.OutLog[e.ch] = append(m.OutLog[e.ch], e.val)
 	}
@@ -386,6 +493,7 @@ func (m *Machine) NoteRestore() {
 	m.restores++
 	m.outPending = m.outPending[:0] // the rolled-back execution never happened
 	m.sendPending = m.sendPending[:0]
+	m.EmitEvent(obs.EvRestore, 0, 0)
 	if m.OnRestore != nil {
 		m.OnRestore()
 	}
@@ -401,6 +509,11 @@ func (m *Machine) Spend(c int64) {
 	ms := float64(c) / energy.CyclesPerMs
 	m.onMs += ms
 	m.clock.AdvanceOn(ms)
+	if m.rec != nil {
+		// Attribute before the failure check: cycles charged by the dying
+		// operation are consumed cycles too.
+		m.rec.OnSpend(c)
+	}
 	if m.remaining < 0 {
 		panic(powerFailure{})
 	}
@@ -511,6 +624,10 @@ func (m *Machine) Run() (Result, error) {
 		}
 		if failed {
 			m.failures++
+			m.EmitEvent(obs.EvPowerFail, m.sinceCp, int64(m.failures))
+			if m.rec != nil {
+				m.rec.OnPowerFail()
+			}
 			m.offMs += m.pendingOffMs
 			m.clock.AdvanceOff(m.pendingOffMs)
 			m.Regs = Registers{}
@@ -543,9 +660,17 @@ func (m *Machine) runWindow(cold bool) (failed bool, fault error) {
 			panic(r)
 		}
 	}()
+	if cold {
+		m.EmitEvent(obs.EvBoot, 1, 0)
+	} else {
+		m.EmitEvent(obs.EvBoot, 0, 0)
+	}
+	m.PushCat(obs.CatRestore)
 	if err := m.rt.Boot(m, cold); err != nil {
 		return false, err
 	}
+	m.PopCat()
+	m.resetRecStack()
 	for !m.halted {
 		if err := m.step(); err != nil {
 			return false, err
@@ -680,12 +805,20 @@ func (m *Machine) step() error {
 		// Advance PC first: a checkpoint taken by a stack grow must resume
 		// *after* the prologue, with the new frame already set up.
 		m.Regs.PC = next
+		if m.rec != nil {
+			// Push before the runtime prologue so grow/checkpoint cycles
+			// land on the callee in the folded stacks.
+			m.rec.EnterFunc(int(in.Imm))
+		}
 		if err := m.rt.Enter(m, int(in.Imm)); err != nil {
 			return err
 		}
 	case isa.Leave:
 		if err := m.rt.Leave(m); err != nil {
 			return err
+		}
+		if m.rec != nil {
+			m.rec.LeaveFunc()
 		}
 		next = m.Regs.PC // Leave sets PC to the return address
 	case isa.SetRV:
@@ -703,6 +836,11 @@ func (m *Machine) step() error {
 		m.Push(uint32(v))
 	case isa.Send:
 		rec := SendRec{Value: int32(m.Pop()), TrueMs: m.TrueNowMs(), EstMs: m.clock.Now()}
+		virt := int64(0)
+		if m.virtualizeSends {
+			virt = 1
+		}
+		m.EmitEvent(obs.EvSend, int64(rec.Value), virt)
 		if m.virtualizeSends {
 			// Virtualized I/O: pay the radio cost now, but hold the packet
 			// in the commit queue — it transmits atomically with the next
@@ -772,7 +910,9 @@ func (m *Machine) step() error {
 		if err := m.rt.Transition(m, in.Imm); err != nil {
 			return err
 		}
-		next = m.Regs.PC // transitions jump to the next task's entry
+		m.EmitEvent(obs.EvTaskCommit, int64(in.Imm), 0)
+		m.resetRecStack() // a fresh task stack replaces the old frames
+		next = m.Regs.PC  // transitions jump to the next task's entry
 	default:
 		m.Fault("unimplemented opcode %s", in.Op)
 	}
@@ -786,14 +926,19 @@ func (m *Machine) step() error {
 	// Armed data-expiration deadline (exception-based @expires/catch).
 	if m.ExpiryArmed && m.clock.Now() >= m.ExpiryDeadline {
 		m.ExpiryArmed = false
+		m.EmitEvent(obs.EvExpiry, m.ExpiryDeadline, 0)
+		m.PushCat(obs.CatRestore)
 		if err := m.rt.OnExpiry(m); err != nil {
 			return err
 		}
+		m.PopCat()
+		m.resetRecStack() // TICS restored to the block-entry checkpoint
 	}
 	// ISR return: the Leave above brought PC/SP back to the interrupted
 	// point.
 	if m.inISR && m.Regs.PC == m.isrRetPC && m.Regs.SP == m.isrRetSP {
 		m.inISR = false
+		m.EmitEvent(obs.EvISRExit, m.irqCount, 0)
 		if err := m.rt.OnInterruptReturn(m); err != nil {
 			return err
 		}
@@ -807,6 +952,7 @@ func (m *Machine) step() error {
 		m.isrRetPC = m.Regs.PC
 		m.isrRetSP = m.Regs.SP
 		m.irqCount++
+		m.EmitEvent(obs.EvISREnter, m.irqCount, 0)
 		if err := m.rt.OnInterrupt(m, m.irqEntry); err != nil {
 			return err
 		}

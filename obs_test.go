@@ -1,0 +1,147 @@
+// Acceptance tests for the flight recorder: the event stream, profile and
+// metrics must agree exactly with the machine's own accounting, and
+// attaching a recorder must not perturb the simulation.
+package tics_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	tics "repro"
+	"repro/internal/apps"
+	"repro/internal/obs"
+	"repro/internal/power"
+	"repro/internal/sensors"
+)
+
+// runAR executes the AR benchmark on TICS under 48% duty-cycled power,
+// matching the worked example in the README.
+func runAR(t *testing.T, rec *obs.Recorder) (int64, int64) {
+	t.Helper()
+	img, err := tics.Build(apps.AR().Source, tics.BuildOptions{Runtime: tics.RTTICS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tics.NewMachine(img, tics.RunOptions{
+		Power:    &power.DutyCycle{Rate: 0.48, OnMs: 40},
+		Sensors:  sensors.NewBank(1),
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil || !res.Completed {
+		t.Fatalf("run: %v %+v", err, res)
+	}
+	return res.Cycles, res.TotalCheckpoints
+}
+
+func TestFlightRecorderMatchesMachineAccounting(t *testing.T) {
+	rec := obs.NewRecorder(obs.Options{Profile: true})
+	cycles, checkpoints := runAR(t, rec)
+	rec.Finish()
+
+	// Event stream vs machine counter: every committed checkpoint left
+	// exactly one commit event.
+	if got := rec.Metrics().Counter("checkpoint_commits"); got != checkpoints {
+		t.Fatalf("checkpoint_commits counter = %d, machine counted %d", got, checkpoints)
+	}
+	if got := rec.CountKind(obs.EvCheckpointCommit); got != checkpoints {
+		t.Fatalf("ring has %d commit events, machine counted %d (dropped=%d)",
+			got, checkpoints, rec.Dropped())
+	}
+
+	// The Chrome export is valid JSON and its checkpoint events agree too.
+	var b bytes.Buffer
+	if err := rec.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	var commits int64
+	for _, te := range doc.TraceEvents {
+		if te.Name == "checkpoint" {
+			commits++
+		}
+	}
+	if commits != checkpoints {
+		t.Fatalf("Chrome trace has %d checkpoint events, machine counted %d", commits, checkpoints)
+	}
+
+	// The category partition accounts for every consumed cycle exactly.
+	p := rec.Profile()
+	if total := p.TotalCycles(); total != cycles {
+		t.Fatalf("profile categories sum to %d cycles, machine consumed %d (%v)",
+			total, cycles, p.ByCategory)
+	}
+	// An intermittent run has both productive and dead work.
+	if p.ByCategory[obs.CatApp.String()] == 0 || p.ByCategory[obs.CatDead.String()] == 0 {
+		t.Fatalf("implausible partition: %v", p.ByCategory)
+	}
+
+	// Folded stacks attribute the same grand total as the categories.
+	var folded int64
+	for _, v := range p.Folded {
+		folded += v
+	}
+	if folded != cycles {
+		t.Fatalf("folded stacks sum to %d, want %d", folded, cycles)
+	}
+}
+
+func TestRecorderDoesNotPerturbTheRun(t *testing.T) {
+	bare, cpBare := runAR(t, nil)
+	rec := obs.NewRecorder(obs.Options{Profile: true})
+	traced, cpTraced := runAR(t, rec)
+	if bare != traced || cpBare != cpTraced {
+		t.Fatalf("recorder changed the simulation: %d/%d cycles, %d/%d checkpoints",
+			bare, traced, cpBare, cpTraced)
+	}
+}
+
+// TestStatsAreDefensiveCopies is the regression test for the live-map
+// escape: Runtime.Stats() used to hand out the runtime's internal counter
+// map, so callers could corrupt (or race on) live state.
+func TestStatsAreDefensiveCopies(t *testing.T) {
+	const src = `
+int g;
+int main() { g = 1; out(0, g); return 0; }
+`
+	for _, kind := range []tics.RuntimeKind{tics.RTPlain, tics.RTTICS, tics.RTMementos, tics.RTChinchilla} {
+		img, err := tics.Build(src, tics.BuildOptions{Runtime: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := tics.NewMachine(img, tics.RunOptions{Power: &power.FailEvery{Cycles: 300, OffMs: 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		rt := m.Runtime()
+		before := rt.Stats()
+		for k := range before {
+			before[k] = -777
+		}
+		before["poison"] = 1
+		after := rt.Stats()
+		if after["poison"] != 0 {
+			t.Fatalf("%s: Stats() returned a live map (injected key visible)", kind)
+		}
+		for k, v := range after {
+			if v == -777 {
+				t.Fatalf("%s: mutation of the returned map reached counter %q", kind, k)
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/instrument"
 	"repro/internal/link"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sensors"
 	"repro/internal/taskrt"
@@ -240,6 +241,10 @@ type RunOptions struct {
 	// named ISRName (default "isr_timer"); zero disables.
 	InterruptPeriodMs float64
 	ISRName           string
+	// Recorder attaches a flight recorder: structured event trace,
+	// cycle-attributed profile, and metrics. Nil disables all recording
+	// (the zero-cost default).
+	Recorder *obs.Recorder
 }
 
 // NewMachine instantiates a fresh device (fresh memory, fresh runtime
@@ -264,6 +269,7 @@ func NewMachine(img *Image, opts RunOptions) (*vm.Machine, error) {
 		MaxWallMs:         opts.MaxWallMs,
 		InterruptPeriodMs: opts.InterruptPeriodMs,
 		ISRName:           opts.ISRName,
+		Recorder:          opts.Recorder,
 	})
 }
 
