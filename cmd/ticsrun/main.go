@@ -13,6 +13,20 @@
 // and -metrics dumps the metrics registry (plus a cycle-attribution
 // summary) to stdout. Without any of them the recorder is never created
 // and the run pays no observability cost.
+//
+// The verification flags turn the recorder into a proof of the run:
+//
+//	ticsrun -app ar -power harvest:40000,800 -audit fail     # invariant auditor
+//	ticsrun -app cf -power harvest:40000,800 -record run.json
+//	ticsrun -replay run.json                                 # bit-identical re-execution
+//	ticsrun -replay run.json -bisect mementos                # first divergent event
+//
+// -audit attaches the trace auditor (rollback exactness, undo-log
+// completeness, checkpoint atomicity, time consistency); "summary" prints
+// the verdict, "fail" also exits 1 on the first violation. -record writes
+// a run manifest (program hash, power windows actually drawn, seeds) that
+// -replay re-executes bit-identically; -bisect replays the manifest under
+// a second runtime and reports where the event streams part ways.
 package main
 
 import (
@@ -21,15 +35,13 @@ import (
 	"io"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 
 	tics "repro"
 	"repro/internal/apps"
+	"repro/internal/audit"
 	"repro/internal/obs"
-	"repro/internal/power"
+	"repro/internal/replay"
 	"repro/internal/sensors"
-	"repro/internal/timekeeper"
 	"repro/internal/vm"
 )
 
@@ -49,9 +61,78 @@ func main() {
 		profileOut = flag.String("profile", "", "write folded stacks (flamegraph.pl input) to FILE")
 		metrics    = flag.Bool("metrics", false, "dump the metrics registry and cycle attribution to stdout")
 		quiet      = flag.Bool("quiet", false, "suppress everything except the send log")
+
+		auditMode = flag.String("audit", "off", "trace auditor: off | summary | fail (exit 1 on violation)")
+		recordOut = flag.String("record", "", "record the run: write a replay manifest to FILE")
+		replayIn  = flag.String("replay", "", "re-execute the manifest in FILE instead of setting up a run")
+		bisectRt  = flag.String("bisect", "", "with -replay: also replay under RUNTIME and report the first divergent event")
 	)
 	flag.Parse()
 
+	if *auditMode != "off" && *auditMode != "summary" && *auditMode != "fail" {
+		fatal(fmt.Errorf("-audit wants off, summary or fail (got %q)", *auditMode))
+	}
+
+	// The auditor hook is shared by all three execution paths.
+	var auditors []*audit.Auditor
+	attach := replay.AttachFunc(nil)
+	if *auditMode != "off" {
+		attach = func(m *vm.Machine) error {
+			a, err := audit.Attach(m, audit.Options{FailFast: *auditMode == "fail"})
+			if err != nil {
+				return err
+			}
+			auditors = append(auditors, a)
+			return nil
+		}
+	}
+
+	if *replayIn != "" {
+		runReplay(*replayIn, *bisectRt, attach, auditors2(&auditors), *auditMode)
+		return
+	}
+	if *bisectRt != "" {
+		fatal(fmt.Errorf("-bisect needs -replay FILE"))
+	}
+
+	spec := replay.Spec{
+		App:     *appName,
+		Runtime: *runtime,
+		Segment: *segment,
+		Power:   *powerArg,
+		Clock:   *clockArg,
+		Seed:    *seed,
+		TimerMs: *timerMs,
+		WallMs:  *wallMs,
+	}
+	if *appName == "" {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("usage: ticsrun [-flags] program.c (or -app NAME, or -replay FILE)"))
+		}
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		spec.Source = string(b)
+	}
+
+	if *recordOut != "" {
+		man, run, err := replay.Record(spec, attach)
+		if err != nil {
+			fatal(err)
+		}
+		if err := replay.WriteManifest(*recordOut, man); err != nil {
+			fatal(err)
+		}
+		printResult(os.Stdout, run.Result, *quiet)
+		fmt.Printf("recorded:     %s (%d events, %d power windows, sha256 %.12s…)\n",
+			*recordOut, man.EventCount, len(man.Windows), man.EventsSHA256)
+		finishAudit(auditors, *auditMode)
+		return
+	}
+
+	// The plain path keeps the zero-cost default: no recorder unless an
+	// observability flag (or the auditor, which is an event sink) asks.
 	opts := tics.BuildOptions{Runtime: tics.RuntimeKind(*runtime), SegmentBytes: *segment}
 	var src string
 	if *appName != "" {
@@ -71,21 +152,14 @@ func main() {
 			src, opts.Tasks, opts.Edges = taskSrc, tasks, edges
 		}
 	} else {
-		if flag.NArg() != 1 {
-			fatal(fmt.Errorf("usage: ticsrun [-flags] program.c (or -app NAME)"))
-		}
-		b, err := os.ReadFile(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		src = string(b)
+		src = spec.Source
 	}
 
-	src2, err := parsePower(*powerArg, *seed)
+	src2, err := replay.ParsePower(*powerArg, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	clock, err := parseClock(*clockArg, *seed)
+	clock, err := replay.ParseClock(*clockArg, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,7 +168,7 @@ func main() {
 		fatal(err)
 	}
 	var rec *obs.Recorder
-	if *traceOut != "" || *eventsOut != "" || *profileOut != "" || *metrics {
+	if *traceOut != "" || *eventsOut != "" || *profileOut != "" || *metrics || attach != nil {
 		rec = obs.NewRecorder(obs.Options{Profile: *profileOut != "" || *metrics})
 	}
 	m, err := tics.NewMachine(img, tics.RunOptions{
@@ -107,6 +181,11 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if attach != nil {
+		if err := attach(m); err != nil {
+			fatal(err)
+		}
 	}
 	res, err := m.Run()
 	if err != nil {
@@ -123,6 +202,64 @@ func main() {
 			rec.Metrics().Dump(os.Stdout)
 			rec.Profile().WriteSummary(os.Stdout)
 		}
+	}
+	finishAudit(auditors, *auditMode)
+}
+
+// auditors2 defers the slice read: the attach hook appends after runReplay
+// receives the pointer.
+func auditors2(as *[]*audit.Auditor) func() []*audit.Auditor {
+	return func() []*audit.Auditor { return *as }
+}
+
+// runReplay handles -replay (bit-identical re-execution, verified against
+// the manifest) and -replay -bisect (two replays, first divergence).
+func runReplay(path, bisectRt string, attach replay.AttachFunc, auditors func() []*audit.Auditor, auditMode string) {
+	man, err := replay.ReadManifest(path)
+	if err != nil {
+		fatal(err)
+	}
+	if bisectRt != "" {
+		rep, err := replay.Bisect(man, bisectRt, attach)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep)
+		finishAudit(auditors(), auditMode)
+		if !rep.Identical {
+			os.Exit(1)
+		}
+		return
+	}
+	run, err := replay.Replay(man, attach)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(os.Stdout, run.Result, false)
+	if err := replay.VerifyReplay(man, run); err != nil {
+		fmt.Fprintln(os.Stderr, "ticsrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("replay:       verified — %d events, sha256 %.12s… matches the recording\n",
+		man.EventCount, man.EventsSHA256)
+	finishAudit(auditors(), auditMode)
+}
+
+// finishAudit prints each auditor's verdict and exits 1 in fail mode when
+// any run violated an invariant.
+func finishAudit(auditors []*audit.Auditor, mode string) {
+	if mode == "off" {
+		return
+	}
+	bad := false
+	for _, a := range auditors {
+		fmt.Fprint(os.Stderr, a.Summary())
+		if a.Total() > 0 {
+			bad = true
+		}
+	}
+	if bad && mode == "fail" {
+		os.Exit(1)
 	}
 }
 
@@ -210,68 +347,6 @@ func sortedChannels(m map[int32][]int32) []int32 {
 	}
 	sort.Slice(chs, func(i, j int) bool { return chs[i] < chs[j] })
 	return chs
-}
-
-func parsePower(arg string, seed uint64) (power.Source, error) {
-	switch {
-	case arg == "continuous":
-		return power.Continuous{}, nil
-	case strings.HasPrefix(arg, "duty:"):
-		rate, err := strconv.ParseFloat(arg[5:], 64)
-		if err != nil {
-			return nil, err
-		}
-		return &power.DutyCycle{Rate: rate, OnMs: 40}, nil
-	case strings.HasPrefix(arg, "fail:"):
-		n, err := strconv.ParseInt(arg[5:], 10, 64)
-		if err != nil {
-			return nil, err
-		}
-		return &power.FailEvery{Cycles: n, OffMs: 20}, nil
-	case strings.HasPrefix(arg, "harvest:"):
-		parts := strings.Split(arg[8:], ",")
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("harvest wants CAP,RATE")
-		}
-		cap, err := strconv.ParseFloat(parts[0], 64)
-		if err != nil {
-			return nil, err
-		}
-		rate, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil {
-			return nil, err
-		}
-		return power.NewHarvester(cap, rate, 0.8, seed), nil
-	}
-	return nil, fmt.Errorf("unknown power source %q", arg)
-}
-
-func parseClock(arg string, seed uint64) (timekeeper.Keeper, error) {
-	switch {
-	case arg == "perfect":
-		return &timekeeper.Perfect{}, nil
-	case strings.HasPrefix(arg, "rtc:"):
-		res, err := strconv.ParseFloat(arg[4:], 64)
-		if err != nil {
-			return nil, err
-		}
-		return &timekeeper.RTC{ResolutionMs: res}, nil
-	case strings.HasPrefix(arg, "remanence:"):
-		parts := strings.Split(arg[10:], ",")
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("remanence wants ERR,MAX_MS")
-		}
-		errFrac, err := strconv.ParseFloat(parts[0], 64)
-		if err != nil {
-			return nil, err
-		}
-		max, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil {
-			return nil, err
-		}
-		return timekeeper.NewRemanence(errFrac, max, seed), nil
-	}
-	return nil, fmt.Errorf("unknown clock %q", arg)
 }
 
 func fatal(err error) {

@@ -4,61 +4,65 @@ import (
 	"testing"
 
 	"repro/internal/power"
+	"repro/internal/replay"
 	"repro/internal/timekeeper"
 )
 
+// The flag grammar lives in internal/replay (manifests store the same
+// strings); these tests pin the concrete types ticsrun hands the machine.
+
 func TestParsePower(t *testing.T) {
-	src, err := parsePower("continuous", 1)
+	src, err := replay.ParsePower("continuous", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := src.(power.Continuous); !ok {
 		t.Fatalf("continuous: %T", src)
 	}
-	src, err = parsePower("duty:0.48", 1)
+	src, err = replay.ParsePower("duty:0.48", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d, ok := src.(*power.DutyCycle); !ok || d.Rate != 0.48 {
 		t.Fatalf("duty: %#v", src)
 	}
-	src, err = parsePower("fail:5000", 1)
+	src, err = replay.ParsePower("fail:5000", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f, ok := src.(*power.FailEvery); !ok || f.Cycles != 5000 {
 		t.Fatalf("fail: %#v", src)
 	}
-	if _, err := parsePower("harvest:40000,450", 1); err != nil {
+	if _, err := replay.ParsePower("harvest:40000,450", 1); err != nil {
 		t.Fatal(err)
 	}
 	for _, bad := range []string{"", "duty:x", "fail:", "harvest:1", "wind"} {
-		if _, err := parsePower(bad, 1); err == nil {
+		if _, err := replay.ParsePower(bad, 1); err == nil {
 			t.Fatalf("accepted %q", bad)
 		}
 	}
 }
 
 func TestParseClock(t *testing.T) {
-	c, err := parseClock("perfect", 1)
+	c, err := replay.ParseClock("perfect", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.(*timekeeper.Perfect); !ok {
 		t.Fatalf("perfect: %T", c)
 	}
-	c, err = parseClock("rtc:10", 1)
+	c, err = replay.ParseClock("rtc:10", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r, ok := c.(*timekeeper.RTC); !ok || r.ResolutionMs != 10 {
 		t.Fatalf("rtc: %#v", c)
 	}
-	if _, err := parseClock("remanence:0.1,5000", 1); err != nil {
+	if _, err := replay.ParseClock("remanence:0.1,5000", 1); err != nil {
 		t.Fatal(err)
 	}
 	for _, bad := range []string{"", "rtc:x", "remanence:1", "sundial"} {
-		if _, err := parseClock(bad, 1); err == nil {
+		if _, err := replay.ParseClock(bad, 1); err == nil {
 			t.Fatalf("accepted %q", bad)
 		}
 	}

@@ -8,7 +8,10 @@ import (
 	"testing"
 
 	tics "repro"
+	"repro/internal/audit"
+	"repro/internal/obs"
 	"repro/internal/power"
+	"repro/internal/replay"
 )
 
 // progGen emits random TICS-C programs: nested loops, branches, helper
@@ -146,6 +149,94 @@ int main() {
 }
 `)
 	return g.buf.String()
+}
+
+// FuzzTICSInvariants runs random programs on TICS under failure injection
+// with the trace auditor attached: every run must complete, match the
+// continuous-power oracle, and satisfy every audited invariant (rollback
+// exactness, undo-log completeness, checkpoint atomicity).
+func FuzzTICSInvariants(f *testing.F) {
+	f.Add(int64(0), int64(23_000))
+	f.Add(int64(3), int64(7_919))
+	f.Add(int64(11), int64(50_021))
+	f.Fuzz(func(t *testing.T, seed, k int64) {
+		// Clamp the failure period to windows TICS can make progress in.
+		if k < 0 {
+			k = -k
+		}
+		k = 5_000 + k%95_000
+		var g progGen
+		src := g.program(seed)
+		oracle, err := tics.Run(src, tics.BuildOptions{Runtime: tics.RTPlain}, tics.RunOptions{})
+		if err != nil || !oracle.Completed {
+			t.Fatalf("oracle: %v completed=%v\n%s", err, oracle.Completed, src)
+		}
+		img, err := tics.Build(src, tics.BuildOptions{Runtime: tics.RTTICS})
+		if err != nil {
+			t.Fatalf("build: %v\n%s", err, src)
+		}
+		m, err := tics.NewMachine(img, tics.RunOptions{
+			Power:          &power.FailEvery{Cycles: k, OffMs: 3},
+			AutoCpPeriodMs: 2,
+			MaxCycles:      500_000_000,
+			Recorder:       obs.NewRecorder(obs.Options{}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aud, err := audit.Attach(m, audit.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("seed %d k=%d: %v\n%s", seed, k, err, src)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d k=%d: incomplete (starved=%v)\n%s", seed, k, res.Starved, src)
+		}
+		if !reflect.DeepEqual(res.OutLog, oracle.OutLog) {
+			t.Fatalf("seed %d k=%d: diverged\n got  %v\n want %v\n%s",
+				seed, k, res.OutLog, oracle.OutLog, src)
+		}
+		if err := aud.Err(); err != nil {
+			t.Fatalf("seed %d k=%d: %v\n%s", seed, k, err, src)
+		}
+	})
+}
+
+// FuzzRecordReplay records random programs under randomized power models
+// and requires every manifest to replay bit-identically.
+func FuzzRecordReplay(f *testing.F) {
+	f.Add(int64(0), uint8(0))
+	f.Add(int64(5), uint8(1))
+	f.Add(int64(9), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, powIdx uint8) {
+		powers := []string{"fail:9973", "duty:0.48", "harvest:40000,800"}
+		var g progGen
+		spec := replay.Spec{
+			Source:    g.program(seed),
+			Runtime:   "tics",
+			Power:     powers[int(powIdx)%len(powers)],
+			Clock:     "perfect",
+			Seed:      uint64(seed)*2654435761 + 1,
+			TimerMs:   2,
+			MaxCycles: 500_000_000,
+		}
+		man, run, err := replay.Record(spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rerun, err := replay.Replay(man, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := replay.VerifyReplay(man, rerun); err != nil {
+			idx, _ := replay.FirstDivergence(run.Events, rerun.Events)
+			t.Fatalf("seed %d power %s: %v (first divergence at event %d)",
+				seed, spec.Power, err, idx)
+		}
+	})
 }
 
 // TestFuzzDifferential generates random programs and requires TICS and the

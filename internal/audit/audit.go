@@ -1,0 +1,475 @@
+// Package audit is the online trace auditor: an obs.Sink that watches a
+// machine's event stream as it is emitted and mechanically checks the
+// consistency guarantees the runtimes claim, the properties "Towards a
+// Formal Foundation of Intermittent Computing" identifies as the ones
+// intermittent systems silently violate.
+//
+// The auditor maintains a shadow model of committed non-volatile state:
+// at every commit point (checkpoint commit, task-transition commit) it
+// snapshots the data region — globals, BSS, mark counters, timestamp
+// shadow slots; everything outside the volatile-by-convention stack —
+// plus the register file, without charging simulated cycles (mem.Peek)
+// and without perturbing the run. Against that shadow it checks:
+//
+//   - rollback exactness: after every restore, the data region and the
+//     register file equal the state at the last commit. Divergence is
+//     reported per address range with the store that caused it (the
+//     auditor tracks the last writer of every audited byte).
+//   - undo-log completeness: under an undo-logging runtime, every
+//     program store outside the working segment must be covered by an
+//     undo-append in the same epoch before it executes.
+//   - checkpoint atomicity: a power failure between checkpoint-begin and
+//     checkpoint-commit leaves a torn buffer; the next restore must come
+//     from the last *committed* checkpoint, never the torn one.
+//   - time consistency: once an @expires deadline passes (the expiry
+//     event fires), no send may happen until the runtime has restored to
+//     the handler — consuming expired data is the violation TICS's
+//     restore-to-block-entry exists to prevent.
+//
+// A correct runtime (TICS) passes every check under every power model; a
+// runtime with a weaker discipline (Mementos without versioned globals,
+// a runtime with an injected log-skip fault) is flagged with the
+// offending address and event index. That is the paper's Table 1 story,
+// machine-checked on every run.
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// Check names a property the auditor verifies.
+type Check string
+
+const (
+	CheckRollback   Check = "rollback-exactness"
+	CheckUndoLog    Check = "undo-completeness"
+	CheckAtomicity  Check = "checkpoint-atomicity"
+	CheckTime       Check = "time-consistency"
+	CheckRegisters  Check = "register-exactness"
+	CheckEventOrder Check = "event-grammar"
+)
+
+// Violation is one detected invariant breach, anchored to the event
+// stream by EventSeq (the ordinal of the event being processed when the
+// breach was found — for an injected undo-log fault this is the index of
+// the first event proving the miss).
+type Violation struct {
+	Check     Check
+	EventSeq  int64 // ordinal in the run's full event stream
+	Cycles    int64 // machine cycle counter at detection
+	Addr      uint32
+	Want, Got uint32
+	WriterSeq int64 // seq of the last event before the offending store (-1: unknown)
+	Detail    string
+}
+
+func (v Violation) String() string {
+	s := fmt.Sprintf("%s at event %d (cycle %d)", v.Check, v.EventSeq, v.Cycles)
+	if v.Addr != 0 || v.Check == CheckRollback || v.Check == CheckUndoLog {
+		s += fmt.Sprintf(" addr=%#06x", v.Addr)
+	}
+	if v.Want != v.Got {
+		s += fmt.Sprintf(" want=%#x got=%#x", v.Want, v.Got)
+	}
+	if v.WriterSeq >= 0 {
+		s += fmt.Sprintf(" last-writer-after-event=%d", v.WriterSeq)
+	}
+	if v.Detail != "" {
+		s += ": " + v.Detail
+	}
+	return s
+}
+
+// Options configures an Auditor.
+type Options struct {
+	// FailFast halts the machine on the first violation, so the run stops
+	// at the earliest evidence instead of accumulating follow-on noise.
+	FailFast bool
+	// MaxViolations bounds the recorded list (default 64); further
+	// violations are counted but not stored.
+	MaxViolations int
+	// CheckUndoLog forces the undo-completeness check on or off. Nil
+	// auto-enables it for runtimes whose discipline is undo/redo logging
+	// (tics, chinchilla, alpaca, ink, mayfly) and disables it for
+	// full-state checkpointers (plain, mementos), whose stores are
+	// legitimately unlogged.
+	CheckUndoLog *bool
+	// CheckTime forces the time-consistency check on or off. Nil enables
+	// it (the default): any runtime that sends data whose @expires
+	// deadline passed without handling the expiry is flagged. Harnesses
+	// comparing against baselines that make no timeliness claim at all
+	// (Mementos, Chinchilla — the paper's Table 1) set this false to
+	// measure their performance without tripping on the known violation.
+	CheckTime *bool
+}
+
+type writeRec struct {
+	val byte
+	seq int64 // events emitted before the store executed
+}
+
+type regFile struct{ pc, sp, fp, rv uint32 }
+
+// Auditor watches one machine's run. Attach it before Run; afterwards,
+// Violations/Err/Summary report what it saw.
+type Auditor struct {
+	m   *vm.Machine
+	opt Options
+
+	base, end uint32 // audited data region [base, end)
+
+	shadow     []byte // data region at the last commit
+	cur        []byte // scratch for the comparison
+	shadowRegs regFile
+	haveShadow bool
+	// regsValid: the last commit captured registers (a checkpoint). Task
+	// commits recover control by re-entering the task, not by a register
+	// file restore, so the register-exactness check does not apply.
+	regsValid bool
+	commitSeq int64
+
+	undoCheck  bool
+	timeCheck  bool
+	covered    map[uint32]bool     // bytes covered by undo appends this epoch
+	lastWriter map[uint32]writeRec // last store into each audited byte this epoch
+
+	cpOpen      bool
+	cpBeginSeq  int64
+	cpBeginRegs regFile
+	torn        *regFile // begin-state of a checkpoint a failure tore
+	tornSeq     int64
+
+	expiryPending  bool
+	expirySeq      int64
+	expiryDeadline int64
+
+	seq        int64 // events seen so far (== seq of the next event)
+	total      int64 // violations detected (including unrecorded ones)
+	violations []Violation
+	tripped    bool // FailFast fired; stop checking
+}
+
+// Attach builds an auditor for m and subscribes it to the machine's
+// recorder and store stream. The machine must have a recorder attached.
+func Attach(m *vm.Machine, opt Options) (*Auditor, error) {
+	rec := m.Recorder()
+	if rec == nil {
+		return nil, errors.New("audit: machine has no recorder attached (the auditor is an event-stream sink)")
+	}
+	if rec.Seq() != 0 {
+		return nil, errors.New("audit: recorder already carries events; attach the auditor before Run")
+	}
+	if opt.MaxViolations <= 0 {
+		opt.MaxViolations = 64
+	}
+	a := &Auditor{
+		m:          m,
+		opt:        opt,
+		base:       m.Img.GlobalsBase,
+		end:        m.Img.StackBase,
+		covered:    map[uint32]bool{},
+		lastWriter: map[uint32]writeRec{},
+		commitSeq:  -1,
+	}
+	a.timeCheck = opt.CheckTime == nil || *opt.CheckTime
+	if opt.CheckUndoLog != nil {
+		a.undoCheck = *opt.CheckUndoLog
+	} else {
+		switch m.Runtime().Name() {
+		case "tics", "chinchilla", "alpaca", "ink", "mayfly":
+			a.undoCheck = true
+		}
+	}
+	a.shadow = make([]byte, a.end-a.base)
+	a.cur = make([]byte, a.end-a.base)
+	rec.AddSink(a)
+	m.ObserveStores(a.onStore)
+	return a, nil
+}
+
+// Region returns the audited address interval [base, end).
+func (a *Auditor) Region() (uint32, uint32) { return a.base, a.end }
+
+func (a *Auditor) report(v Violation) {
+	if a.tripped {
+		return
+	}
+	a.total++
+	if len(a.violations) < a.opt.MaxViolations {
+		a.violations = append(a.violations, v)
+	}
+	if a.opt.FailFast {
+		a.tripped = true
+		a.m.Halt()
+	}
+}
+
+// onStore observes every program-order store (vm.Machine.OnStore).
+func (a *Auditor) onStore(addr uint32, size int, val uint32, _ int64) {
+	if a.tripped {
+		return
+	}
+	o, n := overlap(addr, uint32(size), a.base, a.end)
+	if n == 0 {
+		return
+	}
+	if a.undoCheck {
+		for i := uint32(0); i < n; i++ {
+			if !a.covered[o+i] {
+				a.report(Violation{
+					Check:     CheckUndoLog,
+					EventSeq:  a.seq,
+					Cycles:    a.m.Cycles(),
+					Addr:      addr,
+					WriterSeq: a.seq - 1,
+					Detail: fmt.Sprintf("store of %d B (value %#x) has no undo-log entry covering %#06x this epoch",
+						size, val, o+i),
+				})
+				break
+			}
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		a.lastWriter[o+i] = writeRec{val: byte(val >> (8 * (o + i - addr))), seq: a.seq - 1}
+	}
+}
+
+// OnEvent implements obs.Sink.
+func (a *Auditor) OnEvent(seq int64, ev obs.Event) {
+	a.seq = seq + 1
+	if a.tripped {
+		return
+	}
+	switch ev.Kind {
+	case obs.EvCheckpointBegin:
+		a.cpOpen = true
+		a.cpBeginSeq = seq
+		a.cpBeginRegs = a.regs()
+	case obs.EvCheckpointCommit:
+		a.snapshot(seq, true)
+		a.cpOpen = false
+		a.torn = nil
+	case obs.EvTaskCommit:
+		a.snapshot(seq, false)
+		a.cpOpen = false
+		a.torn = nil
+	case obs.EvPowerFail:
+		if a.cpOpen {
+			r := a.cpBeginRegs
+			a.torn = &r
+			a.tornSeq = a.cpBeginSeq
+			a.cpOpen = false
+		}
+	case obs.EvRestore:
+		a.checkRestore(seq)
+	case obs.EvUndoAppend:
+		lo, n := overlap(uint32(ev.Arg0), uint32(ev.Arg1), a.base, a.end)
+		for i := uint32(0); i < n; i++ {
+			a.covered[lo+i] = true
+		}
+	case obs.EvExpiry:
+		a.expiryPending = true
+		a.expirySeq = seq
+		a.expiryDeadline = ev.Arg0
+	case obs.EvSend:
+		if !a.timeCheck {
+			return
+		}
+		if a.expiryPending {
+			a.report(Violation{
+				Check:    CheckTime,
+				EventSeq: seq,
+				Cycles:   ev.Cycles,
+				Detail: fmt.Sprintf("send of value %d after the @expires deadline (device ms %d) passed at event %d without a restore — expired data consumed",
+					ev.Arg0, a.expiryDeadline, a.expirySeq),
+			})
+		} else if a.m.ExpiryArmed && ev.DeviceMs > a.m.ExpiryDeadline {
+			a.report(Violation{
+				Check:    CheckTime,
+				EventSeq: seq,
+				Cycles:   ev.Cycles,
+				Detail: fmt.Sprintf("send at device ms %d with an armed @expires deadline %d already passed and no expiry event",
+					ev.DeviceMs, a.m.ExpiryDeadline),
+			})
+		}
+	}
+}
+
+// snapshot records the committed state the next restore must reproduce.
+// regsKnown marks commits that capture the register file (checkpoints);
+// task commits pass false.
+func (a *Auditor) snapshot(seq int64, regsKnown bool) {
+	a.m.Mem.Peek(a.base, a.shadow)
+	a.shadowRegs = a.regs()
+	a.haveShadow = true
+	a.regsValid = regsKnown
+	a.commitSeq = seq
+	// A commit closes the epoch: the undo log resets, and stores before
+	// this point can no longer explain post-restore divergence.
+	clear(a.covered)
+	clear(a.lastWriter)
+}
+
+// checkRestore verifies rollback exactness, register exactness and
+// checkpoint atomicity at an EvRestore (the runtime reports the restore
+// complete: registers and memory are rebuilt).
+func (a *Auditor) checkRestore(seq int64) {
+	defer func() {
+		clear(a.covered)
+		clear(a.lastWriter)
+		a.torn = nil
+		a.cpOpen = false
+		a.expiryPending = false
+	}()
+	if !a.haveShadow {
+		return
+	}
+	if got := a.regs(); a.regsValid && got != a.shadowRegs {
+		if a.torn != nil && got == *a.torn {
+			a.report(Violation{
+				Check:    CheckAtomicity,
+				EventSeq: seq,
+				Cycles:   a.m.Cycles(),
+				Detail: fmt.Sprintf("restore resumed from the torn checkpoint begun at event %d (pc=%#x) instead of the commit at event %d (pc=%#x)",
+					a.tornSeq, a.torn.pc, a.commitSeq, a.shadowRegs.pc),
+			})
+		} else {
+			a.report(Violation{
+				Check:    CheckRegisters,
+				EventSeq: seq,
+				Cycles:   a.m.Cycles(),
+				Want:     a.shadowRegs.pc,
+				Got:      got.pc,
+				Detail: fmt.Sprintf("registers after restore {pc:%#x sp:%#x fp:%#x rv:%#x} != committed {pc:%#x sp:%#x fp:%#x rv:%#x} (commit at event %d)",
+					got.pc, got.sp, got.fp, got.rv,
+					a.shadowRegs.pc, a.shadowRegs.sp, a.shadowRegs.fp, a.shadowRegs.rv, a.commitSeq),
+			})
+		}
+	}
+	a.m.Mem.Peek(a.base, a.cur)
+	reported := 0
+	for i := 0; i < len(a.cur); {
+		if a.cur[i] == a.shadow[i] {
+			i++
+			continue
+		}
+		// Group the divergence into a maximal contiguous range.
+		j := i
+		for j < len(a.cur) && a.cur[j] != a.shadow[j] {
+			j++
+		}
+		if reported < 8 {
+			addr := a.base + uint32(i)
+			w, haveW := a.lastWriter[addr]
+			writerSeq := int64(-1)
+			detail := fmt.Sprintf("%d byte(s) differ from the commit at event %d", j-i, a.commitSeq)
+			if haveW {
+				writerSeq = w.seq
+				detail += fmt.Sprintf("; last store to %#06x (value byte %#02x) happened after event %d and was not rolled back",
+					addr, w.val, w.seq)
+			}
+			a.report(Violation{
+				Check:     CheckRollback,
+				EventSeq:  seq,
+				Cycles:    a.m.Cycles(),
+				Addr:      addr,
+				Want:      uint32(a.shadow[i]),
+				Got:       uint32(a.cur[i]),
+				WriterSeq: writerSeq,
+				Detail:    detail,
+			})
+		}
+		reported++
+		i = j
+	}
+	if reported > 8 {
+		a.report(Violation{
+			Check:    CheckRollback,
+			EventSeq: seq,
+			Cycles:   a.m.Cycles(),
+			Detail:   fmt.Sprintf("%d further divergent ranges suppressed", reported-8),
+		})
+	}
+}
+
+func (a *Auditor) regs() regFile {
+	r := a.m.Regs
+	return regFile{pc: r.PC, sp: r.SP, fp: r.FP, rv: r.RV}
+}
+
+// Violations returns the recorded violations (bounded by MaxViolations).
+func (a *Auditor) Violations() []Violation {
+	out := make([]Violation, len(a.violations))
+	copy(out, a.violations)
+	return out
+}
+
+// Total returns the number of violations detected, including any beyond
+// the recording bound.
+func (a *Auditor) Total() int64 { return a.total }
+
+// Err returns nil when the run satisfied every audited invariant, and an
+// error naming the first violation otherwise.
+func (a *Auditor) Err() error {
+	if a.total == 0 {
+		return nil
+	}
+	return fmt.Errorf("audit: %d violation(s); first: %s", a.total, a.violations[0])
+}
+
+// Summary renders a human-readable per-check tally plus the recorded
+// violations.
+func (a *Auditor) Summary() string {
+	var b strings.Builder
+	if a.total == 0 {
+		fmt.Fprintf(&b, "audit: ok (%d events, region [%#06x,%#06x), undo-log check %s)\n",
+			a.seq, a.base, a.end, onOff(a.undoCheck))
+		return b.String()
+	}
+	counts := map[Check]int{}
+	for _, v := range a.violations {
+		counts[v.Check]++
+	}
+	fmt.Fprintf(&b, "audit: %d violation(s) in %d events\n", a.total, a.seq)
+	for _, c := range []Check{CheckRollback, CheckUndoLog, CheckAtomicity, CheckTime, CheckRegisters, CheckEventOrder} {
+		if counts[c] > 0 {
+			fmt.Fprintf(&b, "  %-22s %d\n", c, counts[c])
+		}
+	}
+	for i, v := range a.violations {
+		if i >= 16 {
+			fmt.Fprintf(&b, "  ... (%d more recorded)\n", len(a.violations)-16)
+			break
+		}
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}
+
+func onOff(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
+}
+
+// overlap clips [addr, addr+n) to [base, end) and returns the clipped
+// start and length.
+func overlap(addr, n, base, end uint32) (uint32, uint32) {
+	lo, hi := addr, addr+n
+	if lo < base {
+		lo = base
+	}
+	if hi > end {
+		hi = end
+	}
+	if hi <= lo {
+		return 0, 0
+	}
+	return lo, hi - lo
+}

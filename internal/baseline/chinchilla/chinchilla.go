@@ -233,10 +233,12 @@ func (c *Chinchilla) Checkpoint(m *vm.Machine, kind vm.CpKind) error {
 		m.Spend(2 * (m.Cost.NVReadPerWord + m.Cost.NVWritePerWord))
 		m.Mem.WriteWord(slot+uint32(slotMetaLen+4*w), m.Mem.ReadWord(m.Regs.SP+uint32(4*w)))
 	}
-	m.Spend(m.Cost.NVWritePerWord)
+	// Pre-charge the flag flip and undo-header reset so no failure point
+	// sits between the durable commit and its bookkeeping (same atomic
+	// tail as the TICS checkpoint; see core.TICS.Checkpoint).
+	m.Spend(2 * m.Cost.NVWritePerWord)
 	m.Mem.WriteWord(c.addrActive, uint32(target))
 	c.active = target
-	m.Spend(m.Cost.NVWritePerWord)
 	m.Mem.WriteWord(c.addrUndoHdr, (newEpoch&0xFFFF)<<16)
 	c.epoch = newEpoch
 	c.undoLen = 0
@@ -263,7 +265,7 @@ func (c *Chinchilla) LoggedStore(m *vm.Machine, addr uint32, size int, value uin
 	if c.undoLen >= c.undoCap {
 		m.Fault("chinchilla: write log overflow")
 	}
-	m.EmitEvent(obs.EvUndoAppend, int64(addr), int64(c.undoLen+1))
+	m.EmitEvent(obs.EvUndoAppend, int64(addr), int64(size))
 	m.PushCat(obs.CatUndoLog)
 	m.Spend(m.Cost.UndoLogEntry)
 	var old uint32

@@ -139,8 +139,20 @@ type TICS struct {
 	// checkpoint clears it, and Boot starts it fresh — all in sync.
 	loggedBlocks map[uint32]bool
 
+	// skipUndoAt, when positive, is a countdown to an injected fault: the
+	// N-th upcoming undo append is silently skipped (the program's store
+	// still executes, but unlogged and without an undo-append event). Only
+	// set by InjectUndoSkip in tests; see audit fault-detection coverage.
+	skipUndoAt int
+
 	reg *obs.Registry
 }
+
+// InjectUndoSkip arms a fault-injection hook for tests: the n-th
+// subsequent store that would append an undo-log entry executes without
+// logging it, silently breaking undo-log completeness (and, after the
+// next rollback, restore exactness). The trace auditor must catch this.
+func (t *TICS) InjectUndoSkip(n int) { t.skipUndoAt = n }
 
 // New builds a TICS runtime for an image linked with Spec(cfg, ...).
 func New(img *link.Image, cfg Config) (*TICS, error) {
@@ -380,12 +392,18 @@ func (t *TICS) Checkpoint(m *vm.Machine, kind vm.CpKind) error {
 		m.Spend(2 * (m.Cost.NVReadPerWord + m.Cost.NVWritePerWord))
 		m.Mem.WriteWord(slot+uint32(slotMetaLen+4*w), m.Mem.ReadWord(base+uint32(4*w)))
 	}
-	// Atomic commit.
-	m.Spend(m.Cost.NVWritePerWord)
+	// Atomic commit. Pre-charge the flag flip and the undo-header reset:
+	// Spend can die with the window (power failure), and a failure after
+	// the flip but before the commit bookkeeping would leave a durably
+	// committed checkpoint whose observables were never flushed and whose
+	// commit event was never emitted (found by the trace auditor under
+	// fuzzed failure timing). Charging first keeps every failure point
+	// strictly before the flip, so a torn checkpoint is always restored
+	// from the *old* slot.
+	m.Spend(2 * m.Cost.NVWritePerWord)
 	m.Mem.WriteWord(t.addrActive, uint32(target))
 	t.active = target
 	// Reset the undo log under the new epoch (single-word write).
-	m.Spend(m.Cost.NVWritePerWord)
 	m.Mem.WriteWord(t.addrUndoHdr, (newEpoch&0xFFFF)<<16)
 	t.epoch = newEpoch
 	t.undoLen = 0
@@ -436,6 +454,12 @@ func (t *TICS) LoggedStore(m *vm.Machine, addr uint32, size int, value uint32) e
 		if t.undoLen >= t.undoCap {
 			m.Fault("undo log overflow") // PreStore should have checkpointed
 		}
+		if t.skipUndoAt > 0 {
+			if t.skipUndoAt--; t.skipUndoAt == 0 {
+				m.RawStore(addr, size, value)
+				return nil
+			}
+		}
 		m.EmitEvent(obs.EvUndoAppend, int64(block), int64(t.blockBytes))
 		m.PushCat(obs.CatUndoLog)
 		m.Spend(m.Cost.UndoLogEntry)
@@ -458,6 +482,12 @@ func (t *TICS) LoggedStore(m *vm.Machine, addr uint32, size int, value uint32) e
 	}
 	if t.undoLen >= t.undoCap {
 		m.Fault("undo log overflow") // PreStore should have checkpointed
+	}
+	if t.skipUndoAt > 0 {
+		if t.skipUndoAt--; t.skipUndoAt == 0 {
+			m.RawStore(addr, size, value)
+			return nil
+		}
 	}
 	m.EmitEvent(obs.EvUndoAppend, int64(addr), int64(size))
 	m.PushCat(obs.CatUndoLog)

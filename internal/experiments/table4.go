@@ -3,10 +3,15 @@ package experiments
 import (
 	"fmt"
 
+	tics "repro"
+	"repro/internal/apps"
+	"repro/internal/audit"
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/link"
 	"repro/internal/obs"
+	"repro/internal/power"
+	"repro/internal/sensors"
 	"repro/internal/vm"
 )
 
@@ -147,6 +152,18 @@ func Table4() (Report, error) {
 	add("Stack shrink", "incl. enforced checkpoint", shrinkTotal)
 	add("Stack shrink", "excl. checkpoint", shrinkTotal-cpCost)
 
+	// Checkpoint-latency distribution over a whole benchmark run: the
+	// per-commit latencies land in the checkpoint_latency_cycles histogram,
+	// and the paper's "typical vs worst case" story is the p50/p99 spread
+	// (stack-change checkpoints copy only the working segment; timer
+	// checkpoints may catch a deeper stack).
+	p50, p99, err := checkpointLatencyQuantiles()
+	if err != nil {
+		return Report{}, err
+	}
+	add("Checkpoint latency (AR run)", "p50", p50)
+	add("Checkpoint latency (AR run)", "p99", p99)
+
 	tbl := &table{header: []string{"operation", "configuration", "duration (µs @ 1 MHz)"}}
 	for _, r := range ms {
 		tbl.add(r.Operation, r.Config, fmt.Sprintf("%d", r.Cycles))
@@ -161,6 +178,45 @@ func Table4() (Report, error) {
 		Text:  text,
 		Data:  map[string]any{"measurements": ms},
 	}, nil
+}
+
+// checkpointLatencyQuantiles runs the AR benchmark on TICS under
+// duty-cycled power (timer checkpoints on) with an attached auditor and
+// returns the p50/p99 of the committed-checkpoint latency histogram.
+func checkpointLatencyQuantiles() (int64, int64, error) {
+	img, err := tics.Build(apps.AR().Source, tics.BuildOptions{Runtime: tics.RTTICS})
+	if err != nil {
+		return 0, 0, err
+	}
+	rec := obs.NewRecorder(obs.Options{RingCap: 64})
+	m, err := tics.NewMachine(img, tics.RunOptions{
+		Power:          &power.DutyCycle{Rate: 0.48, OnMs: 40},
+		Sensors:        sensors.NewBank(3),
+		AutoCpPeriodMs: 10,
+		Recorder:       rec,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	aud, err := audit.Attach(m, audit.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return 0, 0, err
+	}
+	if !res.Completed {
+		return 0, 0, fmt.Errorf("table4 latency run did not complete (starved=%v)", res.Starved)
+	}
+	if err := aud.Err(); err != nil {
+		return 0, 0, err
+	}
+	h := rec.Metrics().Histogram("checkpoint_latency_cycles")
+	if h == nil || h.Count == 0 {
+		return 0, 0, fmt.Errorf("table4: no checkpoint latencies recorded")
+	}
+	return int64(h.Quantile(0.50)), int64(h.Quantile(0.99)), nil
 }
 
 // lastCommitLatency returns the event-derived latency (Arg1) of the most

@@ -239,6 +239,22 @@ func (m *Memory) Zero(addr uint32, n int) {
 	}
 }
 
+// Peek copies len(b) bytes starting at addr into b without touching the
+// access statistics. Observers (the trace auditor) use it so that
+// watching a run cannot perturb the run's own traffic accounting.
+func (m *Memory) Peek(addr uint32, b []byte) {
+	m.check(addr, len(b), "peek")
+	copy(b, m.data[addr:int(addr)+len(b)])
+}
+
+// PeekWord reads a 32-bit little-endian word without touching the access
+// statistics.
+func (m *Memory) PeekWord(addr uint32) uint32 {
+	m.check(addr, WordBytes, "peek")
+	return uint32(m.data[addr]) | uint32(m.data[addr+1])<<8 |
+		uint32(m.data[addr+2])<<16 | uint32(m.data[addr+3])<<24
+}
+
 // Snapshot returns a copy of the full memory contents. Tests use snapshots
 // to compare intermittent executions against the continuous-power oracle.
 func (m *Memory) Snapshot() []byte {

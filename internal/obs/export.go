@@ -18,19 +18,72 @@ type jsonlEvent struct {
 	Arg1     int64   `json:"arg1,omitempty"`
 }
 
+// AppendJSONL appends ev's JSONL wire form (one object, trailing newline)
+// to dst and returns the extended slice. The encoding is byte-identical
+// to WriteJSONL's per-line output, which is what makes replayed event
+// streams comparable byte-for-byte.
+func AppendJSONL(dst []byte, ev Event) ([]byte, error) {
+	b, err := json.Marshal(jsonlEvent{
+		Kind:     ev.Kind.String(),
+		Cycles:   ev.Cycles,
+		TrueMs:   ev.TrueMs,
+		DeviceMs: ev.DeviceMs,
+		Arg0:     ev.Arg0,
+		Arg1:     ev.Arg1,
+	})
+	if err != nil {
+		return dst, err
+	}
+	return append(append(dst, b...), '\n'), nil
+}
+
+// EventsJSONL renders a slice of events in the JSONL wire format.
+func EventsJSONL(evs []Event) ([]byte, error) {
+	var out []byte
+	for _, ev := range evs {
+		var err error
+		if out, err = AppendJSONL(out, ev); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ReadJSONL parses a JSONL event stream (as produced by WriteJSONL or
+// EventsJSONL) back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
+			return nil, fmt.Errorf("jsonl line %d: %w", line, err)
+		}
+		k, ok := KindByName(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("jsonl line %d: unknown event kind %q", line, je.Kind)
+		}
+		out = append(out, Event{Kind: k, Cycles: je.Cycles, TrueMs: je.TrueMs,
+			DeviceMs: je.DeviceMs, Arg0: je.Arg0, Arg1: je.Arg1})
+	}
+	return out, sc.Err()
+}
+
 // WriteJSONL exports the retained events as one JSON object per line.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
 	for _, ev := range r.Events() {
-		if err := enc.Encode(jsonlEvent{
-			Kind:     ev.Kind.String(),
-			Cycles:   ev.Cycles,
-			TrueMs:   ev.TrueMs,
-			DeviceMs: ev.DeviceMs,
-			Arg0:     ev.Arg0,
-			Arg1:     ev.Arg1,
-		}); err != nil {
+		b, err := AppendJSONL(nil, ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
 			return err
 		}
 	}

@@ -61,6 +61,17 @@ func (k EventKind) String() string {
 	return "?"
 }
 
+// KindByName is the inverse of EventKind.String — used when parsing an
+// exported event stream back in (replay verification).
+func KindByName(name string) (EventKind, bool) {
+	for i, n := range kindNames {
+		if n == name {
+			return EventKind(i), true
+		}
+	}
+	return 0, false
+}
+
 // Mask selects event kinds to keep; bit i keeps EventKind(i).
 type Mask uint32
 
@@ -129,6 +140,19 @@ type Options struct {
 	Keep Mask
 }
 
+// Sink observes the full event stream online, as it is emitted. A sink
+// sees every event — including kinds the Keep mask filters out of the
+// ring and events the ring later overwrites — in emission order, after
+// the recorder has enriched it (e.g. the commit-latency Arg1). seq is the
+// zero-based ordinal of the event in the run's complete stream. Sinks run
+// synchronously inside Emit, so they may inspect the machine's state at
+// the exact moment of the event; like the recorder itself they must never
+// charge simulated cycles. The trace auditor (internal/audit) and the
+// replay capture (internal/replay) are sinks.
+type Sink interface {
+	OnEvent(seq int64, ev Event)
+}
+
 // Recorder is one machine run's flight recorder. It is not safe for
 // concurrent use; attach a fresh recorder per machine.
 type Recorder struct {
@@ -136,7 +160,9 @@ type Recorder struct {
 	head    int // next write position
 	n       int // filled entries
 	dropped int64
+	seq     int64
 	keep    Mask
+	sinks   []Sink
 
 	reg *Registry
 
@@ -187,6 +213,14 @@ func NewRecorder(opts Options) *Recorder {
 // with the function indices the machine reports). The machine does this
 // when the recorder is attached.
 func (r *Recorder) SetFunctions(names []string) { r.funcs = names }
+
+// AddSink subscribes a streaming observer; see Sink. Sinks are invoked in
+// registration order.
+func (r *Recorder) AddSink(s Sink) { r.sinks = append(r.sinks, s) }
+
+// Seq returns the number of events emitted so far — the seq the next
+// event will carry.
+func (r *Recorder) Seq() int64 { return r.seq }
 
 // Metrics returns the recorder's registry.
 func (r *Recorder) Metrics() *Registry { return r.reg }
@@ -266,6 +300,11 @@ func (r *Recorder) Emit(ev Event) {
 		r.reg.Inc("expiry_traps")
 	case EvTaskCommit:
 		r.reg.Inc("task_commits")
+	}
+	seq := r.seq
+	r.seq++
+	for _, s := range r.sinks {
+		s.OnEvent(seq, ev)
 	}
 	if r.keep&(1<<ev.Kind) == 0 {
 		return

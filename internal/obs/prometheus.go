@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per metric, counters and
+// gauges as single samples, histograms as cumulative `_bucket{le="..."}`
+// series plus `_sum` and `_count`. Output is deterministic (sorted by
+// metric name within each metric class) so it can be golden-file tested
+// and diffed across runs.
+func (g *Registry) WritePrometheus(w io.Writer) error {
+	for _, k := range sortedKeys(g.counters) {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, g.counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(g.gauges) {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.gauges[k])); err != nil {
+			return err
+		}
+	}
+	hk := make([]string, 0, len(g.hists))
+	for k := range g.hists {
+		hk = append(hk, k)
+	}
+	sort.Strings(hk)
+	for _, k := range hk {
+		h := g.hists[k]
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = promFloat(h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry key onto the Prometheus metric-name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*, replacing anything else with '_'.
+func promName(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			out[i] = '_'
+		}
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

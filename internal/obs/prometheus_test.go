@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusGolden(t *testing.T) {
+	g := NewRegistry()
+	g.Add("checkpoint_commits", 3)
+	g.Inc("power_failures")
+	g.SetGauge("reexec_ratio", 0.25)
+	g.RegisterHistogram("checkpoint_latency_cycles", []float64{64, 128})
+	g.Observe("checkpoint_latency_cycles", 90)
+	g.Observe("checkpoint_latency_cycles", 90)
+	g.Observe("checkpoint_latency_cycles", 700)
+
+	var b bytes.Buffer
+	if err := g.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "registry.prom")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Fatalf("prometheus exposition differs from %s:\n--- got ---\n%s--- want ---\n%s",
+			golden, b.String(), want)
+	}
+}
+
+func TestWritePrometheusHistogramIsCumulative(t *testing.T) {
+	g := NewRegistry()
+	g.RegisterHistogram("lat", []float64{10, 100})
+	for _, v := range []float64{1, 10, 11, 1000} {
+		g.Observe("lat", v)
+	}
+	var b bytes.Buffer
+	if err := g.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_bucket{le="10"} 2`,
+		`lat_bucket{le="100"} 3`,
+		`lat_bucket{le="+Inf"} 4`,
+		`lat_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// An empty registered histogram is still exposed (with zero samples),
+	// unlike Dump which elides it.
+	g2 := NewRegistry()
+	g2.RegisterHistogram("quiet", []float64{1})
+	b.Reset()
+	if err := g2.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `quiet_bucket{le="+Inf"} 0`) {
+		t.Fatalf("empty histogram not exposed:\n%s", b.String())
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	if got := promName("undo-log.len"); got != "undo_log_len" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promName("9lives"); got != "_lives" {
+		t.Fatalf("promName must not start with a digit: %q", got)
+	}
+}

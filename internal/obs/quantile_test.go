@@ -1,0 +1,65 @@
+package obs
+
+import "testing"
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", got)
+	}
+}
+
+func TestQuantileClampsToObservedRange(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	h.Observe(7)
+	h.Observe(42)
+	if got := h.Quantile(-1); got != 7 {
+		t.Fatalf("q<=0 = %g, want Min", got)
+	}
+	if got := h.Quantile(2); got != 42 {
+		t.Fatalf("q>=1 = %g, want Max", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	h.Observe(5)
+	// One observation: every quantile is that value.
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 5 {
+			t.Fatalf("Quantile(%g) = %g, want 5", q, got)
+		}
+	}
+}
+
+func TestQuantileLinearInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{0, 10})
+	for v := 1.0; v <= 10; v++ {
+		h.Observe(v)
+	}
+	// All ten samples land in the (0, 10] bucket; the interpolation range
+	// is clamped to [Min, Bounds] = [1, 10], so the median estimate is
+	// 1 + 9*(5/10) = 5.5.
+	if got := h.Quantile(0.5); got != 5.5 {
+		t.Fatalf("median = %g, want 5.5", got)
+	}
+	// p90 → rank 9 of 10 → 1 + 9*(9/10) = 9.1
+	if got := h.Quantile(0.9); got != 9.1 {
+		t.Fatalf("p90 = %g, want 9.1", got)
+	}
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p99 < p50 {
+		t.Fatalf("quantiles not monotone: p50=%g p99=%g", p50, p99)
+	}
+}
+
+func TestQuantileInfBucketReportsMax(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	h.Observe(5)
+	h.Observe(20)
+	h.Observe(30)
+	// p99's rank lands in the overflow bucket, which has no finite upper
+	// bound — the estimator reports the observed Max.
+	if got := h.Quantile(0.99); got != 30 {
+		t.Fatalf("p99 = %g, want 30 (observed max)", got)
+	}
+}

@@ -155,6 +155,57 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket that contains the target rank, the
+// standard fixed-bucket estimator (what promql's histogram_quantile
+// does). The estimate is clamped to the observed [Min, Max], which also
+// resolves the two unbounded buckets: ranks landing in the first bucket
+// interpolate from Min, and ranks landing in the overflow (+Inf) bucket
+// report Max. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next {
+			cum = next
+			continue
+		}
+		// Target rank falls in bucket i: [lo, hi].
+		if i >= len(h.Bounds) {
+			return h.Max // overflow bucket has no finite upper bound
+		}
+		hi := h.Bounds[i]
+		lo := h.Min
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		if lo < h.Min {
+			lo = h.Min
+		}
+		if hi > h.Max {
+			hi = h.Max
+		}
+		if hi <= lo {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-cum)/float64(c)
+	}
+	return h.Max
+}
+
 // Mean returns the running mean (0 when empty).
 func (h *Histogram) Mean() float64 {
 	if h.Count == 0 {

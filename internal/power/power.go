@@ -150,8 +150,11 @@ func (h *Harvester) NextWindow() (int64, float64) {
 	return cycles, off
 }
 
+// Reset restores the harvester's full initial state — capacitor level
+// (keeping any custom boot/brown-out thresholds) and the complete RNG
+// state — so a repeated run draws the identical window sequence. This is
+// what makes harvester-powered runs recordable and replayable.
 func (h *Harvester) Reset() {
-	h.Cap.Drain(math.MaxInt64 / 2)
-	*h.Cap = *energy.NewCapacitor(h.Cap.Capacity)
+	h.Cap.Reset()
 	h.rng = h.Seed | 1
 }

@@ -1,0 +1,77 @@
+package replay
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/power"
+	"repro/internal/timekeeper"
+)
+
+// ParsePower builds a power source from ticsrun's -power syntax:
+// continuous | duty:RATE | fail:CYCLES | harvest:CAP,RATE. The same
+// string goes into a replay Spec, which is why it lives here.
+func ParsePower(arg string, seed uint64) (power.Source, error) {
+	switch {
+	case arg == "continuous":
+		return power.Continuous{}, nil
+	case strings.HasPrefix(arg, "duty:"):
+		rate, err := strconv.ParseFloat(arg[5:], 64)
+		if err != nil {
+			return nil, err
+		}
+		return &power.DutyCycle{Rate: rate, OnMs: 40}, nil
+	case strings.HasPrefix(arg, "fail:"):
+		n, err := strconv.ParseInt(arg[5:], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return &power.FailEvery{Cycles: n, OffMs: 20}, nil
+	case strings.HasPrefix(arg, "harvest:"):
+		parts := strings.Split(arg[8:], ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("harvest wants CAP,RATE")
+		}
+		cap, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, err
+		}
+		rate, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, err
+		}
+		return power.NewHarvester(cap, rate, 0.8, seed), nil
+	}
+	return nil, fmt.Errorf("unknown power source %q", arg)
+}
+
+// ParseClock builds a persistent timekeeper from ticsrun's -clock
+// syntax: perfect | rtc:RES_MS | remanence:ERR,MAX_MS.
+func ParseClock(arg string, seed uint64) (timekeeper.Keeper, error) {
+	switch {
+	case arg == "perfect":
+		return &timekeeper.Perfect{}, nil
+	case strings.HasPrefix(arg, "rtc:"):
+		res, err := strconv.ParseFloat(arg[4:], 64)
+		if err != nil {
+			return nil, err
+		}
+		return &timekeeper.RTC{ResolutionMs: res}, nil
+	case strings.HasPrefix(arg, "remanence:"):
+		parts := strings.Split(arg[10:], ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("remanence wants ERR,MAX_MS")
+		}
+		errFrac, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, err
+		}
+		max, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, err
+		}
+		return timekeeper.NewRemanence(errFrac, max, seed), nil
+	}
+	return nil, fmt.Errorf("unknown clock %q", arg)
+}

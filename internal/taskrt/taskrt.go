@@ -350,7 +350,7 @@ func (r *Runtime) PreStore(m *vm.Machine) error {
 // LoggedStore implements vm.Runtime: privatize-on-first-write, modeled as
 // a write-ahead log entry cleared at the transition commit.
 func (r *Runtime) LoggedStore(m *vm.Machine, addr uint32, size int, value uint32) error {
-	m.EmitEvent(obs.EvUndoAppend, int64(addr), int64(r.undoLen+1))
+	m.EmitEvent(obs.EvUndoAppend, int64(addr), int64(size))
 	m.PushCat(obs.CatUndoLog)
 	m.Spend(r.profile.privatizeCycles)
 	var old uint32

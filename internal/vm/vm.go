@@ -379,6 +379,21 @@ func (m *Machine) AttachRecorder(rec *obs.Recorder) {
 // Recorder returns the attached flight recorder (nil when disabled).
 func (m *Machine) Recorder() *obs.Recorder { return m.rec }
 
+// ObserveStores adds fn as a store observer, chaining after any observer
+// already installed in OnStore so multiple watchers (a violation
+// detector plus the trace auditor, say) compose instead of clobbering
+// each other.
+func (m *Machine) ObserveStores(fn func(addr uint32, size int, val uint32, deviceMs int64)) {
+	if prev := m.OnStore; prev != nil {
+		m.OnStore = func(addr uint32, size int, val uint32, deviceMs int64) {
+			prev(addr, size, val, deviceMs)
+			fn(addr, size, val, deviceMs)
+		}
+		return
+	}
+	m.OnStore = fn
+}
+
 // EmitEvent records a flight-recorder event stamped with the machine's
 // cycle counter and clocks. A no-op without an attached recorder —
 // runtimes call this unconditionally.

@@ -1,0 +1,146 @@
+// Acceptance tests for deterministic record/replay: recording a run and
+// replaying its manifest must reproduce the byte-identical event stream
+// (ISSUE: >= 3 apps x 3 power models), and the bisector must localize a
+// divergence when the runtime changes under the same manifest.
+package tics_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/replay"
+	"repro/internal/vm"
+)
+
+func TestRecordReplayByteIdentical(t *testing.T) {
+	powers := []string{"fail:9973", "duty:0.48", "harvest:40000,800"}
+	for _, app := range []string{"bc", "cf", "ar"} {
+		for _, pw := range powers {
+			t.Run(fmt.Sprintf("%s/%s", app, pw), func(t *testing.T) {
+				spec := replay.Spec{
+					App:     app,
+					Runtime: "tics",
+					Power:   pw,
+					Clock:   "perfect",
+					Seed:    7,
+					TimerMs: 2,
+				}
+				man, run, err := replay.Record(spec, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !run.Result.Completed {
+					t.Fatalf("recorded run did not complete: %+v", run.Res)
+				}
+				rerun, err := replay.Replay(man, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := replay.VerifyReplay(man, rerun); err != nil {
+					idx, _ := replay.FirstDivergence(run.Events, rerun.Events)
+					t.Fatalf("%v (first divergence at event %d)", err, idx)
+				}
+				if !bytes.Equal(run.JSONL, rerun.JSONL) {
+					t.Fatal("JSONL streams differ despite matching digests")
+				}
+			})
+		}
+	}
+}
+
+// A remanence-timekeeper run (seeded RNG in the clock) and a harvester run
+// (seeded RNG in the power source) both replay exactly: the manifest pins
+// the seed and the drawn windows.
+func TestRecordReplayWithRemanenceClock(t *testing.T) {
+	spec := replay.Spec{
+		App:     "ar",
+		Runtime: "tics",
+		Power:   "harvest:40000,800",
+		Clock:   "remanence:0.1,50",
+		Seed:    13,
+		TimerMs: 2,
+	}
+	man, run, err := replay.Record(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Result.Completed {
+		t.Fatalf("recorded run did not complete: %+v", run.Res)
+	}
+	rerun, err := replay.Replay(man, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.VerifyReplay(man, rerun); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Record/replay composes with the auditor: the same AttachFunc hooks the
+// auditor onto both runs, and a clean recording replays clean.
+func TestRecordReplayWithAuditorAttached(t *testing.T) {
+	var auditors []*audit.Auditor
+	hook := func(m *vm.Machine) error {
+		a, err := audit.Attach(m, audit.Options{})
+		if err != nil {
+			return err
+		}
+		auditors = append(auditors, a)
+		return nil
+	}
+	spec := replay.Spec{App: "bc", Runtime: "tics", Power: "fail:9973", Seed: 7, TimerMs: 2}
+	man, _, err := replay.Record(spec, hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerun, err := replay.Replay(man, hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.VerifyReplay(man, rerun); err != nil {
+		t.Fatal(err)
+	}
+	if len(auditors) != 2 {
+		t.Fatalf("hook ran %d times, want 2", len(auditors))
+	}
+	for i, a := range auditors {
+		if err := a.Err(); err != nil {
+			t.Fatalf("auditor %d: %v", i, err)
+		}
+	}
+}
+
+func TestBisectLocalizesRuntimeDivergence(t *testing.T) {
+	spec := replay.Spec{App: "bc", Runtime: "tics", Power: "fail:9973", Seed: 7, TimerMs: 2}
+	man, _, err := replay.Record(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same manifest, same windows, replayed under itself: identical.
+	rep, err := replay.Bisect(man, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Fatalf("self-bisect diverged at %d:\n%s", rep.Index, rep)
+	}
+
+	// Under Mementos the event stream must part ways, and the report
+	// names the first divergent event on both sides.
+	rep, err = replay.Bisect(man, "mementos", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Identical {
+		t.Fatal("tics and mementos produced identical streams")
+	}
+	if rep.Index < 0 || (rep.BaseEvent == nil && rep.AltEvent == nil) {
+		t.Fatalf("divergence not localized: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report")
+	}
+}
