@@ -5,6 +5,10 @@
 //	ticsc -runtime tics -O 2 -dump sections program.c
 //	ticsc -app bc -runtime chinchilla            # reproduces the recursion rejection
 //	ticsc -app ar -dump asm | less
+//	ticsc -vet program.c                         # static hazard analysis only
+//
+// Compile errors are reported on stderr as file:line:col: error: msg and
+// exit with a non-zero status.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"os"
 
 	tics "repro"
+	"repro/internal/analysis"
 	"repro/internal/apps"
 )
 
@@ -23,12 +28,26 @@ func main() {
 		segment = flag.Int("segment", 0, "TICS working-stack segment bytes (0 = program minimum)")
 		appName = flag.String("app", "", "compile a built-in benchmark (ar|bc|cf|ghm|ghm-tinyos|swap|bubble|timekeeping) instead of a file")
 		dump    = flag.String("dump", "sections", "what to print: sections|asm|none")
+		vet     = flag.Bool("vet", false, "run the intermittence hazard analyzer instead of building")
 	)
 	flag.Parse()
 
 	src, label, err := loadSource(*appName, flag.Args(), tics.RuntimeKind(*runtime))
 	if err != nil {
 		fatal(err)
+	}
+
+	if *vet {
+		diags, err := analysis.AnalyzeSource(src, analysis.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, analysis.FormatError(label, err))
+			os.Exit(2)
+		}
+		analysis.WriteText(os.Stdout, label, diags)
+		if analysis.MaxSeverity(diags) >= analysis.Warn {
+			os.Exit(1)
+		}
+		return
 	}
 
 	opts := tics.BuildOptions{
@@ -50,7 +69,8 @@ func main() {
 
 	img, err := tics.Build(src, opts)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, analysis.FormatError(label, err))
+		os.Exit(1)
 	}
 	fmt.Printf("built %s for %s: %d functions, entry %#x\n",
 		label, opts.Runtime, len(img.Funcs), img.EntryPC)

@@ -1,0 +1,77 @@
+// Command ticsvet statically analyzes TICS-C programs for intermittence
+// hazards: write-after-read idempotency violations (TV001), time-consistency
+// problems (TV002–TV005), stack-depth overflows (TV006/TV007), and
+// checkpoint gaps that cannot complete on one capacitor charge (TV008).
+//
+//	ticsvet program.c
+//	ticsvet -app bc                 # analyze a built-in benchmark
+//	ticsvet -json -budget 50000 program.c
+//
+// Exit status: 0 when the program is clean or carries only informational
+// findings, 1 when warnings or errors are reported, 2 on usage or compile
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/apps"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		stack   = flag.Int("stack", 0, "working-stack capacity in bytes for TV007 (0 = runtime default)")
+		budget  = flag.Int64("budget", 0, "capacitor budget in cycles for TV008 (0 = structural checks only)")
+		appName = flag.String("app", "", "analyze a built-in benchmark (ar|bc|cf|ghm|ghm-tinyos|swap|bubble|timekeeping) instead of a file")
+	)
+	flag.Parse()
+
+	type unit struct{ label, src string }
+	var units []unit
+	if *appName != "" {
+		app, ok := apps.ByName(*appName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ticsvet: unknown app %q\n", *appName)
+			os.Exit(2)
+		}
+		units = append(units, unit{app.Name, app.Source})
+	}
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ticsvet: %v\n", err)
+			os.Exit(2)
+		}
+		units = append(units, unit{path, string(b)})
+	}
+	if len(units) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ticsvet [-json] [-stack N] [-budget N] program.c (or -app NAME)")
+		os.Exit(2)
+	}
+
+	opts := analysis.Options{StackBytes: *stack, GapBudgetCycles: *budget}
+	status := 0
+	for _, u := range units {
+		diags, err := analysis.AnalyzeSource(u.src, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, analysis.FormatError(u.label, err))
+			os.Exit(2)
+		}
+		if *jsonOut {
+			if err := analysis.WriteJSON(os.Stdout, u.label, diags); err != nil {
+				fmt.Fprintf(os.Stderr, "ticsvet: %v\n", err)
+				os.Exit(2)
+			}
+		} else {
+			analysis.WriteText(os.Stdout, u.label, diags)
+		}
+		if analysis.MaxSeverity(diags) >= analysis.Warn {
+			status = 1
+		}
+	}
+	os.Exit(status)
+}

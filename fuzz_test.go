@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	tics "repro"
+	"repro/internal/analysis"
 	"repro/internal/audit"
 	"repro/internal/obs"
 	"repro/internal/power"
@@ -299,4 +300,38 @@ func TestFuzzDifferential(t *testing.T) {
 			}
 		}
 	}
+}
+
+// FuzzAnalysis throws arbitrary source at the ticsvet static analyzer:
+// it must never panic or loop, and must either reject the input with a
+// compile error or terminate with a sorted diagnostic list. Valid random
+// programs from progGen additionally exercise every analysis pass on
+// structurally rich inputs (nested loops, helper calls, arrays).
+func FuzzAnalysis(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add("@expires_after=100 int s;\nint main() { s @= sense(0); send(s); return 0; }")
+	f.Add("int g;\nint r(int n) { if (n <= 0) { return 0; } return r(n - 1); }\nint main() { g = r(3); return 0; }")
+	f.Add("int main() { @expires(") // truncated garbage
+	var g progGen
+	f.Add(g.program(7))
+	f.Fuzz(func(t *testing.T, src string) {
+		diags, err := analysis.AnalyzeSource(src, analysis.Options{
+			StackBytes:      256,
+			GapBudgetCycles: 10_000,
+		})
+		if err != nil {
+			// Rejected input still must render through the shared formatter.
+			_ = analysis.FormatError("fuzz.c", err)
+			return
+		}
+		for i, d := range diags {
+			if d.Code == "" || d.Msg == "" {
+				t.Fatalf("empty diagnostic %+v\n%s", d, src)
+			}
+			if i > 0 && (diags[i-1].Pos.Line > d.Pos.Line ||
+				(diags[i-1].Pos.Line == d.Pos.Line && diags[i-1].Pos.Col > d.Pos.Col)) {
+				t.Fatalf("diagnostics unsorted at %d\n%s", i, src)
+			}
+		}
+	})
 }

@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/isa"
+)
+
+// asmIns is a hand-assembled instruction: target >= 0 marks a branch whose
+// immediate should resolve to the byte offset of that instruction index.
+type asmIns struct {
+	op     isa.Op
+	imm    int32
+	target int
+}
+
+func ins(op isa.Op) asmIns            { return asmIns{op: op, target: -1} }
+func br(op isa.Op, target int) asmIns { return asmIns{op: op, target: target} }
+
+// buildFunc assembles a cc.Func with branch relocations, mirroring the
+// pre-link encoding BuildCFG expects.
+func buildFunc(t *testing.T, name string, code []asmIns) *cc.Func {
+	t.Helper()
+	offs := make([]int32, len(code)+1)
+	for i, in := range code {
+		offs[i+1] = offs[i] + int32(isa.Size(in.op))
+	}
+	fn := &cc.Func{Name: name}
+	for i, in := range code {
+		imm := in.imm
+		if in.target >= 0 {
+			if in.target > len(code) {
+				t.Fatalf("instr %d: branch target %d out of range", i, in.target)
+			}
+			imm = offs[in.target]
+			fn.Relocs = append(fn.Relocs, cc.Reloc{Instr: i, Kind: cc.RelocBranch})
+		}
+		fn.Code = append(fn.Code, isa.Instr{Op: in.op, Imm: imm})
+	}
+	return fn
+}
+
+// blockOfInstr finds the block containing an instruction index.
+func blockOfInstr(t *testing.T, cfg *CFG, instr int) *Block {
+	t.Helper()
+	for _, b := range cfg.Blocks {
+		if instr >= b.Start && instr < b.End {
+			return b
+		}
+	}
+	t.Fatalf("no block contains instruction %d", instr)
+	return nil
+}
+
+// Diamond: entry branches to then/else, both join at exit.
+//
+//	0: Jz → 3      entry (B0)
+//	1: Nop         then  (B1)
+//	2: Jmp → 4
+//	3: Nop         else  (B2)
+//	4: Leave       join  (B3)
+func diamondCFG(t *testing.T) *CFG {
+	fn := buildFunc(t, "diamond", []asmIns{
+		br(isa.Jz, 3),
+		ins(isa.Nop),
+		br(isa.Jmp, 4),
+		ins(isa.Nop),
+		ins(isa.Leave),
+	})
+	return BuildCFG(fn)
+}
+
+func TestCFGDiamondStructure(t *testing.T) {
+	cfg := diamondCFG(t)
+	if len(cfg.Blocks) != 4 {
+		t.Fatalf("diamond has %d blocks, want 4", len(cfg.Blocks))
+	}
+	entry := blockOfInstr(t, cfg, 0)
+	then := blockOfInstr(t, cfg, 1)
+	els := blockOfInstr(t, cfg, 3)
+	join := blockOfInstr(t, cfg, 4)
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry has %d successors, want 2 (fallthrough + target)", len(entry.Succs))
+	}
+	if len(join.Preds) != 2 || len(join.Succs) != 0 {
+		t.Fatalf("join preds=%d succs=%d, want 2 and 0", len(join.Preds), len(join.Succs))
+	}
+	for _, b := range []*Block{then, els, join} {
+		if !cfg.Dominates(entry.ID, b.ID) {
+			t.Errorf("entry should dominate block %d", b.ID)
+		}
+	}
+	if cfg.Dominates(then.ID, join.ID) || cfg.Dominates(els.ID, join.ID) {
+		t.Error("neither branch arm may dominate the join")
+	}
+	if cfg.Idom[join.ID] != entry.ID {
+		t.Errorf("idom(join)=%d, want entry %d", cfg.Idom[join.ID], entry.ID)
+	}
+	if !cfg.IsReducible() {
+		t.Error("diamond misclassified as irreducible")
+	}
+}
+
+// Natural loop: header dominates the body that branches back to it.
+//
+//	0: Nop         entry  (B0)
+//	1: Jz → 4      header (B1)
+//	2: Nop         body   (B2)
+//	3: Jmp → 1
+//	4: Leave       exit   (B3)
+func loopCFG(t *testing.T) *CFG {
+	fn := buildFunc(t, "loop", []asmIns{
+		ins(isa.Nop),
+		br(isa.Jz, 4),
+		ins(isa.Nop),
+		br(isa.Jmp, 1),
+		ins(isa.Leave),
+	})
+	return BuildCFG(fn)
+}
+
+func TestDominatorsNaturalLoop(t *testing.T) {
+	cfg := loopCFG(t)
+	entry := blockOfInstr(t, cfg, 0)
+	header := blockOfInstr(t, cfg, 1)
+	body := blockOfInstr(t, cfg, 2)
+	exit := blockOfInstr(t, cfg, 4)
+	if cfg.Idom[header.ID] != entry.ID || cfg.Idom[body.ID] != header.ID || cfg.Idom[exit.ID] != header.ID {
+		t.Fatalf("idoms wrong: header←%d body←%d exit←%d", cfg.Idom[header.ID], cfg.Idom[body.ID], cfg.Idom[exit.ID])
+	}
+	backs := cfg.BackEdges()
+	if len(backs) != 1 || backs[0][0] != body.ID || backs[0][1] != header.ID {
+		t.Fatalf("back edges %v, want exactly body→header", backs)
+	}
+	if !cfg.IsReducible() {
+		t.Error("natural loop misclassified as irreducible")
+	}
+}
+
+// Irreducible loop, the shape a switch-fallthrough dispatcher lowers to
+// when control can enter a cycle at two distinct labels: the entry
+// branches to either A or B, and A and B branch to each other. Neither
+// cycle node dominates the other, so the A↔B retreating edge is not a
+// back edge.
+//
+//	0: Jz → 4      entry (B0): fallthrough A, target B
+//	1: Nop         A (B1)
+//	2: Jz → 6      A: exit or fall through toward B
+//	3: Jmp → 4
+//	4: Nop         B (B3)
+//	5: Jmp → 1     B → A
+//	6: Leave       exit
+func irreducibleCFG(t *testing.T) *CFG {
+	fn := buildFunc(t, "irreducible", []asmIns{
+		br(isa.Jz, 4),
+		ins(isa.Nop),
+		br(isa.Jz, 6),
+		br(isa.Jmp, 4),
+		ins(isa.Nop),
+		br(isa.Jmp, 1),
+		ins(isa.Leave),
+	})
+	return BuildCFG(fn)
+}
+
+func TestDominatorsIrreducibleLoop(t *testing.T) {
+	cfg := irreducibleCFG(t)
+	entry := blockOfInstr(t, cfg, 0)
+	a := blockOfInstr(t, cfg, 1)
+	b := blockOfInstr(t, cfg, 4)
+	// Both cycle entries are reached straight from the entry block, so the
+	// entry is the immediate dominator of each and neither dominates the
+	// other.
+	if cfg.Idom[a.ID] != entry.ID || cfg.Idom[b.ID] != entry.ID {
+		t.Fatalf("idom(A)=%d idom(B)=%d, want both %d", cfg.Idom[a.ID], cfg.Idom[b.ID], entry.ID)
+	}
+	if cfg.Dominates(a.ID, b.ID) || cfg.Dominates(b.ID, a.ID) {
+		t.Fatal("cycle nodes of an irreducible loop must not dominate each other")
+	}
+	if len(cfg.BackEdges()) != 0 {
+		t.Fatalf("irreducible cycle has no true back edges, got %v", cfg.BackEdges())
+	}
+	if cfg.IsReducible() {
+		t.Fatal("two-entry cycle misclassified as reducible")
+	}
+}
+
+func TestReachingDefinitions(t *testing.T) {
+	cfg := diamondCFG(t)
+	entry := blockOfInstr(t, cfg, 0)
+	then := blockOfInstr(t, cfg, 1)
+	els := blockOfInstr(t, cfg, 3)
+	join := blockOfInstr(t, cfg, 4)
+	// d0: entry writes [0,4). d1: then-arm rewrites [0,4) (covers d0).
+	// d2: else-arm writes [2,6) — partial overlap, must NOT kill d0.
+	defs := []Def{
+		{ID: 0, Block: entry.ID, Instr: 0, Loc: Loc{0, 4}},
+		{ID: 1, Block: then.ID, Instr: 1, Loc: Loc{0, 4}},
+		{ID: 2, Block: els.ID, Instr: 3, Loc: Loc{2, 6}},
+	}
+	res := SolveReaching(cfg, defs)
+	if !res.Out[entry.ID].Has(0) {
+		t.Fatal("d0 must reach the entry block's exit")
+	}
+	if res.Out[then.ID].Has(0) || !res.Out[then.ID].Has(1) {
+		t.Fatal("then-arm must kill d0 (full cover) and generate d1")
+	}
+	if !res.Out[els.ID].Has(0) || !res.Out[els.ID].Has(2) {
+		t.Fatal("else-arm partially overlaps d0 and must leave it reaching")
+	}
+	in := res.In[join.ID]
+	for _, want := range []int{0, 1, 2} {
+		if !in.Has(want) {
+			t.Errorf("join entry must see d%d (got d0=%v d1=%v d2=%v)",
+				want, in.Has(0), in.Has(1), in.Has(2))
+		}
+	}
+}
+
+func TestReachingDefinitionsThroughLoop(t *testing.T) {
+	cfg := loopCFG(t)
+	entry := blockOfInstr(t, cfg, 0)
+	header := blockOfInstr(t, cfg, 1)
+	body := blockOfInstr(t, cfg, 2)
+	defs := []Def{
+		{ID: 0, Block: entry.ID, Instr: 0, Loc: Loc{0, 4}},
+		{ID: 1, Block: body.ID, Instr: 2, Loc: Loc{0, 4}},
+	}
+	res := SolveReaching(cfg, defs)
+	in := res.In[header.ID]
+	if !in.Has(0) || !in.Has(1) {
+		t.Fatalf("loop header must merge the entry def and the loop-carried def, got d0=%v d1=%v",
+			in.Has(0), in.Has(1))
+	}
+}
+
+func TestLivenessAcrossLoop(t *testing.T) {
+	cfg := loopCFG(t)
+	entry := blockOfInstr(t, cfg, 0)
+	header := blockOfInstr(t, cfg, 1)
+	body := blockOfInstr(t, cfg, 2)
+	exit := blockOfInstr(t, cfg, 4)
+	nb := len(cfg.Blocks)
+	use := make([]BitSet, nb)
+	def := make([]BitSet, nb)
+	for i := 0; i < nb; i++ {
+		use[i], def[i] = NewBitSet(2), NewBitSet(2)
+	}
+	// Fact 0: defined at entry, used in the body → live around the loop,
+	// dead after exit. Fact 1: used at exit only.
+	def[entry.ID].Set(0)
+	use[body.ID].Set(0)
+	use[exit.ID].Set(1)
+	res := SolveLive(cfg, use, def, 2)
+	if res.In[entry.ID].Has(0) {
+		t.Error("fact 0 is defined at entry and must not be live-in there")
+	}
+	if !res.Out[entry.ID].Has(0) || !res.In[header.ID].Has(0) || !res.Out[body.ID].Has(0) {
+		t.Error("fact 0 must be live around the loop (used by the body each iteration)")
+	}
+	if res.In[exit.ID].Has(0) {
+		t.Error("fact 0 is not used at or after exit and must be dead there")
+	}
+	if !res.In[entry.ID].Has(1) || !res.In[exit.ID].Has(1) {
+		t.Error("fact 1 is used at exit and never defined, so it is live everywhere on the path")
+	}
+}
+
+// TestAnalyzeSourceDeterministic guards golden stability: two runs over
+// the same program must produce identical, sorted diagnostics.
+func TestAnalyzeSourceDeterministic(t *testing.T) {
+	src := `
+int a; int b;
+int main() {
+    a = a + 1;
+    b = b + a;
+    return 0;
+}
+`
+	d1, err := AnalyzeSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := AnalyzeSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("non-deterministic: %d vs %d findings", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i].String() != d2[i].String() {
+			t.Fatalf("finding %d differs across runs:\n%s\n%s", i, d1[i], d2[i])
+		}
+		if i > 0 && (d1[i-1].Pos.Line > d1[i].Pos.Line ||
+			(d1[i-1].Pos.Line == d1[i].Pos.Line && d1[i-1].Pos.Col > d1[i].Pos.Col)) {
+			t.Fatalf("diagnostics not sorted by position: %s before %s", d1[i-1], d1[i])
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"repro/internal/cc"
+	"repro/internal/isa"
+)
+
+// CallSite is one static call: instruction at Instr in Caller's code,
+// targeting function index Callee.
+type CallSite struct {
+	Caller int
+	Instr  int
+	Callee int
+	Pos    cc.Pos
+}
+
+// CallGraph is the interprocedural call structure of a compiled program,
+// built from the pre-link encoding where every Call immediate carries a
+// RelocFuncEntry relocation whose value is the callee's function index.
+type CallGraph struct {
+	Prog  *cc.Program
+	Sites []CallSite
+	// Callees[f] lists the distinct function indices f calls.
+	Callees [][]int
+	// Callers[f] lists the distinct function indices calling f.
+	Callers [][]int
+	// SCC[f] is the strongly connected component ID of function f.
+	// Components are numbered in reverse topological order: every callee's
+	// component ID is <= its caller's, so iterating components 0..N-1
+	// processes callees before callers.
+	SCC []int
+	// Components[c] lists the function indices in component c.
+	Components [][]int
+}
+
+// BuildCallGraph extracts call edges and computes SCCs.
+func BuildCallGraph(prog *cc.Program) *CallGraph {
+	nf := len(prog.Funcs)
+	g := &CallGraph{
+		Prog:    prog,
+		Callees: make([][]int, nf),
+		Callers: make([][]int, nf),
+		SCC:     make([]int, nf),
+	}
+	seen := make([]map[int]bool, nf)
+	for fi, fn := range prog.Funcs {
+		seen[fi] = map[int]bool{}
+		entryReloc := map[int]bool{}
+		for _, r := range fn.Relocs {
+			if r.Kind == cc.RelocFuncEntry {
+				entryReloc[r.Instr] = true
+			}
+		}
+		for i, in := range fn.Code {
+			if in.Op != isa.Call || !entryReloc[i] {
+				continue
+			}
+			callee := int(in.Imm)
+			if callee < 0 || callee >= nf {
+				continue
+			}
+			var pos cc.Pos
+			if i < len(fn.Poss) {
+				pos = fn.Poss[i]
+			}
+			g.Sites = append(g.Sites, CallSite{Caller: fi, Instr: i, Callee: callee, Pos: pos})
+			if !seen[fi][callee] {
+				seen[fi][callee] = true
+				g.Callees[fi] = append(g.Callees[fi], callee)
+				g.Callers[callee] = append(g.Callers[callee], fi)
+			}
+		}
+	}
+	g.computeSCC()
+	return g
+}
+
+// computeSCC runs Tarjan's algorithm iteratively. Tarjan emits components
+// in reverse topological order of the condensation (callees first), which
+// is exactly the order bottom-up summary computation wants.
+func (g *CallGraph) computeSCC() {
+	nf := len(g.Prog.Funcs)
+	index := make([]int, nf)
+	lowlink := make([]int, nf)
+	onStack := make([]bool, nf)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v, i int
+	}
+	for root := 0; root < nf; root++ {
+		if index[root] >= 0 {
+			continue
+		}
+		work := []frame{{root, 0}}
+		index[root], lowlink[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.i < len(g.Callees[v]) {
+				w := g.Callees[v][f.i]
+				f.i++
+				if index[w] < 0 {
+					index[w], lowlink[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{w, 0})
+				} else if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+				continue
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					g.SCC[w] = len(g.Components)
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				g.Components = append(g.Components, comp)
+			}
+		}
+	}
+}
+
+// RecursiveComponents returns the components forming recursion cycles:
+// those with more than one function, or a single function that calls
+// itself. Each is returned as a list of function names tracing the cycle.
+func (g *CallGraph) RecursiveComponents() [][]string {
+	var out [][]string
+	for _, comp := range g.Components {
+		recursive := len(comp) > 1
+		if !recursive {
+			f := comp[0]
+			for _, c := range g.Callees[f] {
+				if c == f {
+					recursive = true
+					break
+				}
+			}
+		}
+		if !recursive {
+			continue
+		}
+		names := make([]string, len(comp))
+		for i, f := range comp {
+			names[i] = g.Prog.Funcs[f].Name
+		}
+		out = append(out, names)
+	}
+	return out
+}
+
+// InRecursiveComponent reports whether function f participates in a
+// recursion cycle.
+func (g *CallGraph) InRecursiveComponent(f int) bool {
+	comp := g.Components[g.SCC[f]]
+	if len(comp) > 1 {
+		return true
+	}
+	for _, c := range g.Callees[f] {
+		if c == f {
+			return true
+		}
+	}
+	return false
+}
+
+// ReachableFromMain returns the set of function indices reachable from the
+// program entry.
+func (g *CallGraph) ReachableFromMain() []bool {
+	reach := make([]bool, len(g.Prog.Funcs))
+	if g.Prog.MainIndex < 0 || g.Prog.MainIndex >= len(reach) {
+		return reach
+	}
+	reach[g.Prog.MainIndex] = true
+	stack := []int{g.Prog.MainIndex}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Callees[v] {
+			if !reach[w] {
+				reach[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"repro/internal/cc"
+	"repro/internal/isa"
+)
+
+// Block is a basic block of a function's bytecode: a maximal straight-line
+// run of instructions with one entry (the leader) and one exit.
+type Block struct {
+	ID    int
+	Start int // first instruction index (inclusive)
+	End   int // last instruction index (exclusive)
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one compiled function. Blocks[0] is the
+// entry block. Branch targets are resolved from the pre-link encoding,
+// where every branch immediate is a function-relative byte offset.
+type CFG struct {
+	Fn     *cc.Func
+	Blocks []*Block
+	// Idom[b] is the immediate dominator's block ID (Idom[0] == 0).
+	// Unreachable blocks have Idom -1.
+	Idom []int
+	// rpo is a reverse-postorder sequence of reachable blocks.
+	rpo []*Block
+}
+
+func isBranchOp(op isa.Op) bool {
+	switch op {
+	case isa.Jmp, isa.Jz, isa.Jnz, isa.ExpBegin, isa.ExpCatch, isa.Timely:
+		return true
+	}
+	return false
+}
+
+func isTerminator(op isa.Op) bool {
+	return isBranchOp(op) || op == isa.Leave || op == isa.Halt
+}
+
+// BuildCFG partitions fn's code into basic blocks and computes dominators.
+// It works on pre-link code: branch immediates must still be
+// function-relative byte offsets (compile with plain/uninstrumented output,
+// or any pre-Link stage).
+func BuildCFG(fn *cc.Func) *CFG {
+	n := len(fn.Code)
+	// Instruction byte offsets, and the offset→index map for branch targets.
+	off := make([]int, n+1)
+	idxAt := make(map[int]int, n)
+	for i, in := range fn.Code {
+		idxAt[off[i]] = i
+		off[i+1] = off[i] + in.Size()
+	}
+	branchReloc := make(map[int]bool)
+	for _, r := range fn.Relocs {
+		if r.Kind == cc.RelocBranch {
+			branchReloc[r.Instr] = true
+		}
+	}
+	target := func(i int) (int, bool) {
+		if !branchReloc[i] {
+			return 0, false
+		}
+		t, ok := idxAt[int(fn.Code[i].Imm)]
+		return t, ok
+	}
+
+	// Leaders: entry, every branch target, every instruction after a
+	// terminator.
+	leader := make([]bool, n+1)
+	if n > 0 {
+		leader[0] = true
+	}
+	for i, in := range fn.Code {
+		if isBranchOp(in.Op) {
+			if t, ok := target(i); ok {
+				leader[t] = true
+			}
+		}
+		if isTerminator(in.Op) && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	cfg := &CFG{Fn: fn}
+	blockAt := make([]*Block, n)
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && !leader[j] {
+			j++
+		}
+		b := &Block{ID: len(cfg.Blocks), Start: i, End: j}
+		cfg.Blocks = append(cfg.Blocks, b)
+		for k := i; k < j; k++ {
+			blockAt[k] = b
+		}
+		i = j
+	}
+
+	addEdge := func(from, to *Block) {
+		for _, s := range from.Succs {
+			if s == to {
+				return
+			}
+		}
+		from.Succs = append(from.Succs, to)
+		to.Preds = append(to.Preds, from)
+	}
+	for _, b := range cfg.Blocks {
+		last := fn.Code[b.End-1]
+		switch {
+		case last.Op == isa.Jmp:
+			if t, ok := target(b.End - 1); ok {
+				addEdge(b, blockAt[t])
+			}
+		case isBranchOp(last.Op):
+			// Conditional branches (including ExpBegin's catch edge and
+			// Timely's else edge) fall through and may jump.
+			if b.End < n {
+				addEdge(b, blockAt[b.End])
+			}
+			if t, ok := target(b.End - 1); ok {
+				addEdge(b, blockAt[t])
+			}
+		case last.Op == isa.Leave || last.Op == isa.Halt:
+			// Function exit: no successors.
+		default:
+			if b.End < n {
+				addEdge(b, blockAt[b.End])
+			}
+		}
+	}
+
+	cfg.computeRPO()
+	cfg.computeDominators()
+	return cfg
+}
+
+// computeRPO fills cfg.rpo with reachable blocks in reverse postorder.
+func (c *CFG) computeRPO() {
+	if len(c.Blocks) == 0 {
+		return
+	}
+	seen := make([]bool, len(c.Blocks))
+	var post []*Block
+	// Iterative DFS to keep the fuzzer happy on pathological inputs.
+	type frame struct {
+		b *Block
+		i int
+	}
+	stack := []frame{{c.Blocks[0], 0}}
+	seen[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(f.b.Succs) {
+			s := f.b.Succs[f.i]
+			f.i++
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	c.rpo = make([]*Block, len(post))
+	for i, b := range post {
+		c.rpo[len(post)-1-i] = b
+	}
+}
+
+// RPO returns the reachable blocks in reverse postorder (entry first).
+func (c *CFG) RPO() []*Block { return c.rpo }
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative algorithm
+// over the reverse postorder. It handles irreducible graphs (e.g. loops
+// entered through a switch fallthrough).
+func (c *CFG) computeDominators() {
+	c.Idom = make([]int, len(c.Blocks))
+	for i := range c.Idom {
+		c.Idom[i] = -1
+	}
+	if len(c.rpo) == 0 {
+		return
+	}
+	rpoNum := make([]int, len(c.Blocks))
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range c.rpo {
+		rpoNum[b.ID] = i
+	}
+	entry := c.rpo[0]
+	c.Idom[entry.ID] = entry.ID
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = c.Idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = c.Idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.rpo[1:] {
+			newIdom := -1
+			for _, p := range b.Preds {
+				if rpoNum[p.ID] < 0 || c.Idom[p.ID] < 0 {
+					continue // unreachable or unprocessed predecessor
+				}
+				if newIdom < 0 {
+					newIdom = p.ID
+				} else {
+					newIdom = intersect(newIdom, p.ID)
+				}
+			}
+			if newIdom >= 0 && c.Idom[b.ID] != newIdom {
+				c.Idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// Dominates reports whether block a dominates block b (both reachable).
+func (c *CFG) Dominates(a, b int) bool {
+	if c.Idom[b] < 0 || c.Idom[a] < 0 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == c.Idom[b] { // entry
+			return false
+		}
+		b = c.Idom[b]
+	}
+}
+
+// BackEdges returns the (tail, head) block-ID pairs where head dominates
+// tail — the natural-loop back edges. Edges into a loop entered some other
+// way (irreducible) are not returned; IsReducible exposes that.
+func (c *CFG) BackEdges() [][2]int {
+	var out [][2]int
+	for _, b := range c.rpo {
+		for _, s := range b.Succs {
+			if c.Dominates(s.ID, b.ID) {
+				out = append(out, [2]int{b.ID, s.ID})
+			}
+		}
+	}
+	return out
+}
+
+// IsReducible reports whether every retreating edge is a back edge (head
+// dominates tail). A switch whose cases fall through into a loop body can
+// produce an irreducible region; the dataflow solvers still converge, but
+// natural-loop-based reasoning must not be trusted there.
+func (c *CFG) IsReducible() bool {
+	rpoNum := make([]int, len(c.Blocks))
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range c.rpo {
+		rpoNum[b.ID] = i
+	}
+	for _, b := range c.rpo {
+		for _, s := range b.Succs {
+			if rpoNum[s.ID] >= 0 && rpoNum[s.ID] <= rpoNum[b.ID] && !c.Dominates(s.ID, b.ID) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package analysis
+
+// BitSet is a dense bit vector used as the dataflow fact domain.
+type BitSet []uint64
+
+// NewBitSet returns a set able to hold n facts.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set adds fact i.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear removes fact i.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether fact i is present.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// OrInto unions other into s and reports whether s changed.
+func (s BitSet) OrInto(other BitSet) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | other[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy overwrites s with other.
+func (s BitSet) Copy(other BitSet) { copy(s, other) }
+
+// AndNot removes other's facts from s.
+func (s BitSet) AndNot(other BitSet) {
+	for i := range s {
+		s[i] &^= other[i]
+	}
+}
+
+// Eq reports whether two sets hold the same facts.
+func (s BitSet) Eq(other BitSet) bool {
+	for i := range s {
+		if s[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Loc is a byte interval [Lo, Hi) in the globals space — the granularity
+// at which the analyses track non-volatile state.
+type Loc struct {
+	Lo, Hi uint32
+}
+
+// Overlaps reports whether two locations share at least one byte.
+func (l Loc) Overlaps(m Loc) bool { return l.Lo < m.Hi && m.Lo < l.Hi }
+
+// Covers reports whether l contains all of m.
+func (l Loc) Covers(m Loc) bool { return l.Lo <= m.Lo && m.Hi <= l.Hi }
+
+// Def is one definition (store) of a non-volatile location.
+type Def struct {
+	ID    int // dense index, position in the defs slice
+	Block int // block ID containing the store
+	Instr int // instruction index of the store
+	Loc   Loc
+}
+
+// ReachingResult holds the fixpoint of a reaching-definitions problem:
+// In[b]/Out[b] are the definitions reaching block b's entry/exit.
+type ReachingResult struct {
+	Defs []Def
+	In   []BitSet
+	Out  []BitSet
+}
+
+// SolveReaching computes reaching definitions (forward, may) over the CFG
+// for the given definitions. A definition kills another only when its
+// location fully covers the other's — partial overwrites leave the old
+// definition live, which is conservative in the right direction for
+// hazard detection.
+func SolveReaching(cfg *CFG, defs []Def) *ReachingResult {
+	nb := len(cfg.Blocks)
+	nd := len(defs)
+	gen := make([]BitSet, nb)
+	kill := make([]BitSet, nb)
+	for i := 0; i < nb; i++ {
+		gen[i] = NewBitSet(nd)
+		kill[i] = NewBitSet(nd)
+	}
+	// Within a block, later stores kill earlier ones; Gen keeps the last
+	// covering definition of each location.
+	byBlock := make([][]Def, nb)
+	for _, d := range defs {
+		byBlock[d.Block] = append(byBlock[d.Block], d)
+	}
+	for b := 0; b < nb; b++ {
+		ds := byBlock[b]
+		for i, d := range ds {
+			survives := true
+			for _, later := range ds[i+1:] {
+				if later.Loc.Covers(d.Loc) {
+					survives = false
+					break
+				}
+			}
+			if survives {
+				gen[b].Set(d.ID)
+			}
+			for _, other := range defs {
+				if other.ID != d.ID && d.Loc.Covers(other.Loc) {
+					kill[b].Set(other.ID)
+				}
+			}
+		}
+	}
+
+	res := &ReachingResult{Defs: defs, In: make([]BitSet, nb), Out: make([]BitSet, nb)}
+	for i := 0; i < nb; i++ {
+		res.In[i] = NewBitSet(nd)
+		res.Out[i] = NewBitSet(nd)
+		res.Out[i].Copy(gen[i])
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.RPO() {
+			in := NewBitSet(nd)
+			for _, p := range b.Preds {
+				in.OrInto(res.Out[p.ID])
+			}
+			if !in.Eq(res.In[b.ID]) {
+				res.In[b.ID].Copy(in)
+			}
+			out := NewBitSet(nd)
+			out.Copy(in)
+			out.AndNot(kill[b.ID])
+			out.OrInto(gen[b.ID])
+			if !out.Eq(res.Out[b.ID]) {
+				res.Out[b.ID].Copy(out)
+				changed = true
+			}
+		}
+	}
+	return res
+}
+
+// LiveResult holds the fixpoint of a liveness problem over a caller-chosen
+// fact universe (typically one fact per tracked location).
+type LiveResult struct {
+	In  []BitSet // live at block entry
+	Out []BitSet // live at block exit
+}
+
+// SolveLive computes liveness (backward, may) given per-block Use (read
+// before any overwrite in the block) and Def (overwritten) sets over a
+// universe of n facts.
+func SolveLive(cfg *CFG, use, def []BitSet, n int) *LiveResult {
+	nb := len(cfg.Blocks)
+	res := &LiveResult{In: make([]BitSet, nb), Out: make([]BitSet, nb)}
+	for i := 0; i < nb; i++ {
+		res.In[i] = NewBitSet(n)
+		res.Out[i] = NewBitSet(n)
+	}
+	rpo := cfg.RPO()
+	for changed := true; changed; {
+		changed = false
+		// Postorder (reverse of RPO) converges fastest for backward problems.
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := NewBitSet(n)
+			for _, s := range b.Succs {
+				out.OrInto(res.In[s.ID])
+			}
+			res.Out[b.ID].Copy(out)
+			in := NewBitSet(n)
+			in.Copy(out)
+			in.AndNot(def[b.ID])
+			in.OrInto(use[b.ID])
+			if !in.Eq(res.In[b.ID]) {
+				res.In[b.ID].Copy(in)
+				changed = true
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,195 @@
+// Package analysis is the static analyzer behind ticsvet: a dataflow
+// framework over the TICS-C AST and the compiled internal/isa bytecode
+// (control-flow graphs with dominators, reaching definitions, liveness,
+// and an interprocedural call graph), plus a suite of intermittence
+// hazard passes. Where internal/audit proves a *run* violated the
+// intermittent-computing consistency conditions, this package proves the
+// *program* can violate them — at compile time, before any trace exists.
+//
+// Every finding carries a stable diagnostic code (TV001…); LANGUAGE.md's
+// Diagnostics section lists each code with a minimal trigger example.
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cc"
+)
+
+// Code identifies a diagnostic class. Codes are stable across releases:
+// tools and golden files key on them.
+type Code string
+
+const (
+	// CodeWAR: a non-volatile global is read and then written between two
+	// guaranteed checkpoint boundaries. Re-execution after a power failure
+	// replays the write against the already-updated value — the classic
+	// idempotency (WAR) violation. Under TICS the undo log must cover the
+	// store; under Mementos with VersionGlobals=false the location is
+	// silently corrupted (Table 1).
+	CodeWAR Code = "TV001"
+	// CodeUnguardedSend: send()/out() transmits data read from an
+	// @expires_after-annotated global on a path with no enclosing
+	// @expires/@timely guard, so the deadline can lapse (across a power
+	// outage) and stale data leaves the device.
+	CodeUnguardedSend Code = "TV002"
+	// CodeStaleTimestamp: an @expires_after-annotated global is written
+	// with a plain store instead of @=, leaving its shadow timestamp
+	// stale — freshness checks then judge the new value by the old
+	// value's age.
+	CodeStaleTimestamp Code = "TV003"
+	// CodeManualPair: a data/timestamp pair is updated by two separate
+	// stores (a now() store adjacent to a data store). A power failure
+	// between the two misaligns them (Figure 3c); @expires_after plus @=
+	// makes the pair atomic.
+	CodeManualPair Code = "TV004"
+	// CodeManualTimely: an ordinary branch condition reads the volatile
+	// clock (now()). A checkpoint between condition evaluation and the
+	// guarded effect lets re-execution take both arms (Figure 3b); @timely
+	// re-evaluates the deadline after every restore.
+	CodeManualTimely Code = "TV005"
+	// CodeUnboundedRecursion: the call graph has a cycle, so the
+	// worst-case working-stack depth is unbounded and no segment array
+	// size can be proven sufficient.
+	CodeUnboundedRecursion Code = "TV006"
+	// CodeStackOverflow: even the optimistic (fragmentation-free) stack
+	// bound of the deepest call chain exceeds the stack region, so the
+	// program cannot run with the configured segment array.
+	CodeStackOverflow Code = "TV007"
+	// CodeCheckpointGap: the worst-case cycle cost between two adjacent
+	// checkpoint opportunities (for TICS: through an atomic region, where
+	// automatic checkpoints are disabled) exceeds the energy budget, or is
+	// unbounded — the region can never complete on one charge, so the
+	// program stops making forward progress (the ETAP non-termination
+	// condition).
+	CodeCheckpointGap Code = "TV008"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+const (
+	// Info marks a fact worth surfacing that a correctly configured
+	// runtime handles (e.g. a WAR hazard covered by the TICS undo log).
+	Info Severity = iota
+	// Warn marks a hazard that fires under at least one supported
+	// configuration.
+	Warn
+	// Error marks a program that cannot run correctly as configured.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Code     Code     `json:"code"`
+	Severity Severity `json:"severity"`
+	Pos      cc.Pos   `json:"-"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	// Func is the function the finding anchors to ("" for whole-program
+	// findings).
+	Func string `json:"func,omitempty"`
+	// Global names the affected variable, when one is identifiable.
+	Global string `json:"global,omitempty"`
+	Msg    string `json:"msg"`
+}
+
+func (d Diagnostic) String() string {
+	loc := fmt.Sprintf("%d:%d", d.Pos.Line, d.Pos.Col)
+	if d.Func != "" {
+		return fmt.Sprintf("%s: %s [%s] %s: %s", loc, d.Severity, d.Code, d.Func, d.Msg)
+	}
+	return fmt.Sprintf("%s: %s [%s] %s", loc, d.Severity, d.Code, d.Msg)
+}
+
+// sortDiags orders diagnostics by position, then code, for deterministic
+// output (golden files depend on this).
+func sortDiags(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// MaxSeverity returns the highest severity among the diagnostics, or
+// Info-1 when the list is empty.
+func MaxSeverity(ds []Diagnostic) Severity {
+	max := Severity(-1)
+	for _, d := range ds {
+		if d.Severity > max {
+			max = d.Severity
+		}
+	}
+	return max
+}
+
+// WriteText renders diagnostics one per line, prefixed with label (a file
+// name or program name) when non-empty. This is the one diagnostic
+// formatting path shared by ticsvet and ticsc.
+func WriteText(w io.Writer, label string, ds []Diagnostic) {
+	for _, d := range ds {
+		if label != "" {
+			fmt.Fprintf(w, "%s:%s\n", label, d.String())
+		} else {
+			fmt.Fprintln(w, d.String())
+		}
+	}
+}
+
+// WriteJSON renders diagnostics as a JSON array (machine-readable mode).
+func WriteJSON(w io.Writer, label string, ds []Diagnostic) error {
+	type jdiag struct {
+		Label string `json:"label,omitempty"`
+		Diagnostic
+	}
+	out := make([]jdiag, len(ds))
+	for i, d := range ds {
+		d.Line, d.Col = d.Pos.Line, d.Pos.Col
+		out[i] = jdiag{Label: label, Diagnostic: d}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// FormatError renders any error — cc compile errors keep their position —
+// in the same label:line:col shape as diagnostics, so ticsc and ticsvet
+// report compile failures identically.
+func FormatError(label string, err error) string {
+	var ce *cc.Error
+	if errors.As(err, &ce) && label != "" {
+		return fmt.Sprintf("%s:%s: error: %s", label, ce.Pos, ce.Msg)
+	}
+	if label != "" {
+		return fmt.Sprintf("%s: error: %v", label, err)
+	}
+	return fmt.Sprintf("error: %v", err)
+}

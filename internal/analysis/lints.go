@@ -1,0 +1,410 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+)
+
+// Time-consistency lints (TV002–TV005) over the TICS-C AST. These target
+// Figure 3's time-misalignment hazards: data outliving its deadline
+// across a power outage (expiration), data and timestamp updated by
+// separate stores (misalignment), and ordinary branches on the volatile
+// clock (timely-branch violations). Each lint recognises the legacy
+// manual idiom and points at the TICS annotation that makes it safe.
+
+// guardCtx is the set of time guards lexically enclosing a point in a
+// function body.
+type guardCtx struct {
+	expires map[string]bool // globals guarded by an enclosing @expires
+	timely  bool            // inside a @timely body
+}
+
+func (g guardCtx) withExpires(name string) guardCtx {
+	m := map[string]bool{}
+	for k := range g.expires {
+		m[k] = true
+	}
+	m[name] = true
+	return guardCtx{expires: m, timely: g.timely}
+}
+
+func (g guardCtx) withTimely() guardCtx {
+	return guardCtx{expires: g.expires, timely: true}
+}
+
+func (g guardCtx) covers(name string) bool { return g.expires[name] || g.timely }
+
+// lintCall is a call site recorded for the interprocedural exposure
+// analysis of TV002.
+type lintCall struct {
+	caller, callee string
+	ctx            guardCtx
+}
+
+// lintCandidate is a potential TV002 finding, confirmed only if the
+// containing function is reachable with the global unguarded.
+type lintCandidate struct {
+	fn     string
+	global string
+	pos    cc.Pos
+	sink   string // "send" or "out"
+}
+
+type linter struct {
+	unit      *cc.Unit
+	annotated map[string]bool
+	diags     []Diagnostic
+	calls     []lintCall
+	sends     []lintCandidate
+	fn        *cc.FuncDecl
+}
+
+// runLints walks every function and emits TV002–TV005.
+func runLints(unit *cc.Unit) []Diagnostic {
+	l := &linter{unit: unit, annotated: map[string]bool{}}
+	for _, g := range unit.Globals {
+		if g.ExpiresAfterMs >= 0 {
+			l.annotated[g.Name] = true
+		}
+	}
+	for _, fn := range unit.Funcs {
+		l.fn = fn
+		l.stmt(fn.Body, guardCtx{expires: map[string]bool{}})
+	}
+	l.resolveSends()
+	sortDiags(l.diags)
+	return l.diags
+}
+
+func (l *linter) report(code Code, sev Severity, pos cc.Pos, global, msg string) {
+	l.diags = append(l.diags, Diagnostic{
+		Code: code, Severity: sev, Pos: pos, Func: l.fn.Name, Global: global, Msg: msg,
+	})
+}
+
+// annotatedTarget returns the annotated global an lvalue designates, if
+// any ("" otherwise).
+func (l *linter) annotatedTarget(e cc.Expr) string {
+	switch x := e.(type) {
+	case *cc.VarRef:
+		if x.Sym != nil && x.Sym.Kind == cc.SymGlobal && l.annotated[x.Name] {
+			return x.Name
+		}
+	case *cc.Index:
+		if b, ok := x.Base.(*cc.VarRef); ok {
+			return l.annotatedTarget(b)
+		}
+	}
+	return ""
+}
+
+// globalTarget returns the global an lvalue stores to ("" for locals,
+// pointer dereferences and parameters).
+func globalTarget(e cc.Expr) string {
+	switch x := e.(type) {
+	case *cc.VarRef:
+		if x.Sym != nil && x.Sym.Kind == cc.SymGlobal {
+			return x.Name
+		}
+	case *cc.Index:
+		if b, ok := x.Base.(*cc.VarRef); ok {
+			return globalTarget(b)
+		}
+	}
+	return ""
+}
+
+// isNowCall reports whether e is a direct call to the now() builtin.
+func isNowCall(e cc.Expr) bool {
+	c, ok := e.(*cc.Call)
+	return ok && c.Builtin == cc.BNow
+}
+
+// containsNow reports whether any subexpression calls now().
+func containsNow(e cc.Expr) bool {
+	found := false
+	walkExpr(e, func(sub cc.Expr) {
+		if isNowCall(sub) {
+			found = true
+		}
+	})
+	return found
+}
+
+// walkExpr visits e and every subexpression.
+func walkExpr(e cc.Expr, visit func(cc.Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch x := e.(type) {
+	case *cc.Unary:
+		walkExpr(x.X, visit)
+	case *cc.Binary:
+		walkExpr(x.L, visit)
+		walkExpr(x.R, visit)
+	case *cc.Index:
+		walkExpr(x.Base, visit)
+		walkExpr(x.Idx, visit)
+	case *cc.Call:
+		for _, a := range x.Args {
+			walkExpr(a, visit)
+		}
+	case *cc.AssignExpr:
+		walkExpr(x.L, visit)
+		walkExpr(x.R, visit)
+	case *cc.IncDec:
+		walkExpr(x.X, visit)
+	case *cc.Cond:
+		walkExpr(x.C, visit)
+		walkExpr(x.T, visit)
+		walkExpr(x.F, visit)
+	}
+}
+
+// annotatedReads collects the annotated globals an expression reads.
+func (l *linter) annotatedReads(e cc.Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	walkExpr(e, func(sub cc.Expr) {
+		if v, ok := sub.(*cc.VarRef); ok && v.Sym != nil && v.Sym.Kind == cc.SymGlobal &&
+			l.annotated[v.Name] && !seen[v.Name] {
+			seen[v.Name] = true
+			out = append(out, v.Name)
+		}
+	})
+	return out
+}
+
+func (l *linter) stmt(s cc.Stmt, ctx guardCtx) {
+	switch st := s.(type) {
+	case *cc.Block:
+		l.stmtList(st.Stmts, ctx)
+	case *cc.ExprStmt:
+		l.expr(st.X, ctx)
+	case *cc.LocalDecl:
+		if st.Init != nil {
+			l.expr(st.Init, ctx)
+		}
+	case *cc.If:
+		l.checkClockCond(st.Cond, "if")
+		l.expr(st.Cond, ctx)
+		l.stmt(st.Then, ctx)
+		if st.Else != nil {
+			l.stmt(st.Else, ctx)
+		}
+	case *cc.While:
+		l.checkClockCond(st.Cond, "while")
+		l.expr(st.Cond, ctx)
+		l.stmt(st.Body, ctx)
+	case *cc.DoWhile:
+		l.stmt(st.Body, ctx)
+		l.checkClockCond(st.Cond, "do-while")
+		l.expr(st.Cond, ctx)
+	case *cc.For:
+		if st.Init != nil {
+			l.expr(st.Init, ctx)
+		}
+		if st.Cond != nil {
+			l.checkClockCond(st.Cond, "for")
+			l.expr(st.Cond, ctx)
+		}
+		if st.Post != nil {
+			l.expr(st.Post, ctx)
+		}
+		l.stmt(st.Body, ctx)
+	case *cc.Switch:
+		l.expr(st.Cond, ctx)
+		for gi := range st.Groups {
+			l.stmtList(st.Groups[gi].Stmts, ctx)
+		}
+	case *cc.Return:
+		if st.X != nil {
+			l.expr(st.X, ctx)
+		}
+	case *cc.ExpiresStmt:
+		inner := ctx
+		if name := globalTarget(st.LV); name != "" {
+			inner = ctx.withExpires(name)
+		}
+		l.stmt(st.Body, inner)
+		if st.Catch != nil {
+			l.stmt(st.Catch, ctx)
+		}
+	case *cc.TimelyStmt:
+		l.expr(st.Deadline, ctx)
+		l.stmt(st.Body, ctx.withTimely())
+		if st.Else != nil {
+			l.stmt(st.Else, ctx)
+		}
+	}
+}
+
+// stmtList runs per-statement checks plus the adjacency pattern of TV004:
+// a now() stored into one global right next to a store into another is the
+// manual data/timestamp pair of Figure 3(c) — one power failure between
+// the two stores misaligns them forever.
+func (l *linter) stmtList(stmts []cc.Stmt, ctx guardCtx) {
+	for _, s := range stmts {
+		l.stmt(s, ctx)
+	}
+	for i := 0; i+1 < len(stmts); i++ {
+		tsName, tsPos, ok1 := nowStore(stmts[i])
+		dataName, ok2 := plainGlobalStore(stmts[i+1])
+		if !(ok1 && ok2) {
+			// Data-then-timestamp order.
+			dataName, ok2 = plainGlobalStore(stmts[i])
+			tsName, tsPos, ok1 = nowStore(stmts[i+1])
+		}
+		if ok1 && ok2 && tsName != dataName &&
+			!l.annotated[tsName] && !l.annotated[dataName] {
+			l.report(CodeManualPair, Warn, tsPos, dataName,
+				fmt.Sprintf("manual data/timestamp pair: '%s' holds now() while '%s' holds the data, updated by separate stores; a power failure between them misaligns value and timestamp — declare '%s' @expires_after and assign with @=", tsName, dataName, dataName))
+		}
+	}
+}
+
+// nowStore matches `g = now();` (or `g[i] = now();`).
+func nowStore(s cc.Stmt) (global string, pos cc.Pos, ok bool) {
+	es, isExpr := s.(*cc.ExprStmt)
+	if !isExpr {
+		return "", cc.Pos{}, false
+	}
+	as, isAssign := es.X.(*cc.AssignExpr)
+	if !isAssign || as.Op != cc.Assign || !isNowCall(as.R) {
+		return "", cc.Pos{}, false
+	}
+	g := globalTarget(as.L)
+	return g, as.Pos(), g != ""
+}
+
+// plainGlobalStore matches any store (including compound and ++/--) whose
+// target is a global and whose value is not now().
+func plainGlobalStore(s cc.Stmt) (global string, ok bool) {
+	es, isExpr := s.(*cc.ExprStmt)
+	if !isExpr {
+		return "", false
+	}
+	switch x := es.X.(type) {
+	case *cc.AssignExpr:
+		if isNowCall(x.R) {
+			return "", false
+		}
+		g := globalTarget(x.L)
+		return g, g != ""
+	case *cc.IncDec:
+		g := globalTarget(x.X)
+		return g, g != ""
+	}
+	return "", false
+}
+
+// checkClockCond emits TV005 when a branch condition reads the volatile
+// clock directly (Figure 3(b): a checkpoint between the now() read and
+// the guarded effect lets re-execution take both arms).
+func (l *linter) checkClockCond(cond cc.Expr, kind string) {
+	if containsNow(cond) {
+		l.report(CodeManualTimely, Warn, cond.Pos(), "",
+			fmt.Sprintf("%s condition reads the volatile clock with now(); after a reboot the re-executed test can disagree with the committed branch — guard the deadline with @timely instead", kind))
+	}
+}
+
+func (l *linter) expr(e cc.Expr, ctx guardCtx) {
+	walkExpr(e, func(sub cc.Expr) {
+		switch x := sub.(type) {
+		case *cc.AssignExpr:
+			if x.Op == cc.AtAssign {
+				return
+			}
+			if name := l.annotatedTarget(x.L); name != "" {
+				l.report(CodeStaleTimestamp, Warn, x.Pos(), name,
+					fmt.Sprintf("plain store to @expires_after global '%s' leaves its shadow timestamp stale; freshness checks will judge the new value by the old value's age — assign with @= instead", name))
+			}
+		case *cc.IncDec:
+			if name := l.annotatedTarget(x.X); name != "" {
+				l.report(CodeStaleTimestamp, Warn, x.Pos(), name,
+					fmt.Sprintf("plain store to @expires_after global '%s' leaves its shadow timestamp stale; freshness checks will judge the new value by the old value's age — assign with @= instead", name))
+			}
+		case *cc.Call:
+			switch x.Builtin {
+			case cc.BSend, cc.BOut:
+				sink := "send"
+				if x.Builtin == cc.BOut {
+					sink = "out"
+				}
+				for _, arg := range x.Args {
+					for _, g := range l.annotatedReads(arg) {
+						if !ctx.covers(g) {
+							l.sends = append(l.sends, lintCandidate{
+								fn: l.fn.Name, global: g, pos: x.Pos(), sink: sink,
+							})
+						}
+					}
+				}
+			case cc.NotBuiltin:
+				l.calls = append(l.calls, lintCall{caller: l.fn.Name, callee: x.Name, ctx: ctx})
+			}
+		}
+	})
+}
+
+// resolveSends finishes TV002: a send of @expires_after data is only a
+// hazard on paths where no caller holds an @expires/@timely guard either.
+// mayReachUnguarded[f][g] means some call chain from main reaches f with
+// global g unguarded the whole way.
+func (l *linter) resolveSends() {
+	if len(l.sends) == 0 {
+		return
+	}
+	reach := map[string]map[string]bool{}
+	get := func(fn string) map[string]bool {
+		if reach[fn] == nil {
+			reach[fn] = map[string]bool{}
+		}
+		return reach[fn]
+	}
+	if l.unit.Main != nil {
+		m := get(l.unit.Main.Name)
+		for g := range l.annotated {
+			m[g] = true
+		}
+	}
+	// Task entry points (functions named t_*) are also roots: task
+	// runtimes dispatch them directly.
+	for _, fn := range l.unit.Funcs {
+		if len(fn.Name) > 2 && fn.Name[:2] == "t_" {
+			m := get(fn.Name)
+			for g := range l.annotated {
+				m[g] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range l.calls {
+			src := get(c.caller)
+			dst := get(c.callee)
+			for g := range src {
+				if !c.ctx.covers(g) && !dst[g] {
+					dst[g] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, cand := range l.sends {
+		if !get(cand.fn)[cand.global] {
+			continue
+		}
+		durMs := int64(-1)
+		for _, g := range l.unit.Globals {
+			if g.Name == cand.global {
+				durMs = g.ExpiresAfterMs
+			}
+		}
+		l.fn = &cc.FuncDecl{Name: cand.fn}
+		l.report(CodeUnguardedSend, Warn, cand.pos, cand.global,
+			fmt.Sprintf("%s() transmits '%s' (@expires_after=%d ms) outside any @expires/@timely guard; across a power outage the deadline can lapse unnoticed and stale data leaves the device", cand.sink, cand.global, durMs))
+	}
+}

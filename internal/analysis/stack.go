@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+)
+
+// Stack-segment bound analysis (TV006/TV007).
+//
+// The TICS working stack lives in a fixed non-volatile arena; a call
+// chain that outgrows it cannot be made safe by checkpointing — the
+// segmented-stack runtime simply has nowhere to put the next frame.
+// TV006 flags recursion cycles, where no static depth bound exists at
+// all. TV007 computes the deepest acyclic call chain's frame demand
+// (an optimistic lower bound: 4 bytes of return PC plus each frame's
+// locals and worst-case operand stack) and errors when even that lower
+// bound exceeds the configured stack capacity.
+
+// runStack emits TV006 for every recursion cycle and, when the call
+// graph is acyclic, TV007 if the worst-case chain cannot fit.
+func runStack(unit *cc.Unit, prog *cc.Program, stackBytes int) []Diagnostic {
+	var diags []Diagnostic
+	cg := BuildCallGraph(prog)
+
+	declPos := map[string]cc.Pos{}
+	for _, fd := range unit.Funcs {
+		declPos[fd.Name] = fd.P
+	}
+
+	cycles := cg.RecursiveComponents()
+	for _, names := range cycles {
+		cycle := strings.Join(names, " → ")
+		if len(names) == 1 {
+			cycle = names[0] + " → " + names[0]
+		}
+		diags = append(diags, Diagnostic{
+			Code: CodeUnboundedRecursion, Severity: Warn,
+			Pos:  declPos[names[0]],
+			Func: names[0],
+			Msg:  fmt.Sprintf("recursion cycle %s has no static depth bound; the working stack (%d bytes, non-volatile) can overflow regardless of checkpoint placement — convert to iteration or an explicit bounded worklist", cycle, stackBytes),
+		})
+	}
+
+	// TV007 only when depth is statically bounded.
+	if len(cycles) == 0 && prog.MainIndex >= 0 {
+		need := make([]int, len(prog.Funcs))  // worst chain bytes from f down
+		via := make([]int, len(prog.Funcs))   // callee achieving the worst chain
+		done := make([]bool, len(prog.Funcs)) // memoized
+		// Components are in reverse topological order: callees come first,
+		// so a single sweep resolves every chain.
+		for _, comp := range cg.Components {
+			for _, f := range comp {
+				best, bestVia := 0, -1
+				for _, c := range cg.Callees[f] {
+					if done[c] && need[c] > best {
+						best, bestVia = need[c], c
+					}
+				}
+				need[f] = 4 + prog.Funcs[f].FrameBytes() + best
+				via[f] = bestVia
+				done[f] = true
+			}
+		}
+		if worst := need[prog.MainIndex]; worst > stackBytes {
+			var chain []string
+			for f := prog.MainIndex; f >= 0; f = via[f] {
+				chain = append(chain, prog.Funcs[f].Name)
+			}
+			diags = append(diags, Diagnostic{
+				Code: CodeStackOverflow, Severity: Error,
+				Pos:  declPos[prog.Funcs[prog.MainIndex].Name],
+				Func: prog.Funcs[prog.MainIndex].Name,
+				Msg:  fmt.Sprintf("worst-case call chain %s needs at least %d bytes of working stack but only %d are provisioned; the non-volatile stack arena will overflow", strings.Join(chain, " → "), worst, stackBytes),
+			})
+		}
+	}
+
+	sortDiags(diags)
+	return diags
+}

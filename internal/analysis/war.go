@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+)
+
+// WAR-hazard detection (TV001).
+//
+// A WAR (write-after-read) idempotency hazard is a non-volatile global
+// that is read and then written with no guaranteed checkpoint boundary in
+// between. After a power failure the runtime re-executes from the last
+// checkpoint: the replayed read now sees the already-updated value and
+// the recomputed write commits a second time — `seed = seed * a + c`
+// advances twice for one logical step. This is exactly the hazard class
+// the TICS undo log exists to cover (paper §3.2.1); runtimes that
+// checkpoint without versioning globals (Mementos with VersionGlobals
+// disabled — Table 1's "naive checkpointing") silently corrupt the
+// location instead.
+//
+// The analysis is a forward may-dataflow over the bytecode CFG at global-
+// variable granularity, with bottom-up interprocedural summaries so a
+// read in a caller followed by a write in a callee (or vice versa) is
+// still caught. Only checkpoints that are guaranteed to execute (explicit
+// Chkpt instructions: checkpoint() calls and atomic-region boundaries)
+// clear pending reads — timer-driven checkpoints may or may not fire, so
+// they cannot be relied on to break a hazard.
+//
+// Precision: reads and writes whose address is widened (an array access
+// with a statically unknown index) set pending reads but never *trigger*
+// a hazard — the analysis cannot prove the write hits the read location,
+// and zero false positives is the contract.
+
+// warSummary is the interprocedural behaviour of one function.
+type warSummary struct {
+	// mayWriteNoCp: globals possibly written on some path from the
+	// function's entry before any checkpoint (precise, non-widened writes).
+	mayWriteNoCp BitSet
+	// pendingAtExit: globals possibly carrying an un-checkpointed read
+	// when the function returns.
+	pendingAtExit BitSet
+	// sureCp: every entry→exit path passes a checkpoint.
+	sureCp bool
+}
+
+type warAnalysis struct {
+	prog      *cc.Program
+	events    []*funcEvents
+	summaries []warSummary
+	nvars     int
+}
+
+// varsOf maps a globals-space interval to the indices of the variables it
+// overlaps.
+func (w *warAnalysis) varsOf(loc Loc) []int {
+	var out []int
+	for i, g := range w.prog.Globals {
+		if (Loc{g.Offset, g.Offset + uint32(g.Size)}).Overlaps(loc) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// runWAR extracts events for every function (with one round of
+// monomorphic parameter-address propagation, so swap(&a, &b)-style
+// pointer hazards resolve), computes function summaries to a fixpoint,
+// and reports hazards.
+func runWAR(prog *cc.Program) []Diagnostic {
+	nf := len(prog.Funcs)
+	w := &warAnalysis{prog: prog, nvars: len(prog.Globals)}
+
+	cfgs := make([]*CFG, nf)
+	for i, fn := range prog.Funcs {
+		cfgs[i] = BuildCFG(fn)
+	}
+
+	// Pass 1: observe call-site argument values with parameters unknown.
+	type pjoin struct {
+		v   aval
+		set bool
+	}
+	pvals := make([][]pjoin, nf)
+	for i, fn := range prog.Funcs {
+		pvals[i] = make([]pjoin, fn.NArgs)
+	}
+	for i, fn := range prog.Funcs {
+		extractEvents(prog, fn, cfgs[i], nil, func(_, callee int, args []aval) {
+			for j, a := range args {
+				if j >= len(pvals[callee]) {
+					break
+				}
+				p := &pvals[callee][j]
+				if !p.set {
+					p.v, p.set = a, true
+				} else {
+					p.v = joinVals(prog, p.v, a)
+				}
+			}
+		})
+	}
+
+	// Pass 2: final event streams with propagated parameter values.
+	w.events = make([]*funcEvents, nf)
+	for i, fn := range prog.Funcs {
+		params := make([]aval, fn.NArgs)
+		for j, p := range pvals[i] {
+			if p.set {
+				params[j] = p.v
+			} else {
+				params[j] = unknown()
+			}
+		}
+		w.events[i] = extractEvents(prog, fn, cfgs[i], params, nil)
+	}
+
+	// Summaries to a fixpoint: optimistic start, monotone refinement
+	// (sets only grow, sureCp only falls), bottom-up over the call DAG so
+	// acyclic programs converge in one sweep.
+	w.summaries = make([]warSummary, nf)
+	for i := range w.summaries {
+		w.summaries[i] = warSummary{
+			mayWriteNoCp:  NewBitSet(w.nvars),
+			pendingAtExit: NewBitSet(w.nvars),
+			sureCp:        true,
+		}
+	}
+	cg := BuildCallGraph(prog)
+	var order []int
+	for _, comp := range cg.Components {
+		order = append(order, comp...)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range order {
+			if w.summarize(fi, nil) {
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass with stable summaries.
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for fi := range prog.Funcs {
+		w.summarize(fi, func(instr int, vars []int, viaCallee int) {
+			fn := prog.Funcs[fi]
+			var pos cc.Pos
+			if instr < len(fn.Poss) {
+				pos = fn.Poss[instr]
+			}
+			for _, v := range vars {
+				key := fmt.Sprintf("%d.%d.%d", fi, instr, v)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				g := prog.Globals[v]
+				msg := fmt.Sprintf("WAR hazard: non-volatile global '%s' is read and then written with no checkpoint between", g.Name)
+				if viaCallee >= 0 {
+					msg = fmt.Sprintf("WAR hazard: non-volatile global '%s' is read here and written by '%s' with no checkpoint between", g.Name, prog.Funcs[viaCallee].Name)
+				}
+				msg += "; TICS undo logging replays it safely, but checkpointing without versioned globals (mementos, VersionGlobals=false) corrupts it on re-execution"
+				diags = append(diags, Diagnostic{
+					Code: CodeWAR, Severity: Info, Pos: pos,
+					Func: fn.Name, Global: g.Name, Msg: msg,
+				})
+			}
+		})
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// summarize recomputes the summary of function fi from its events and the
+// current summaries of its callees, reporting hazards through report when
+// non-nil. It returns whether the summary changed.
+func (w *warAnalysis) summarize(fi int, report func(instr int, vars []int, viaCallee int)) bool {
+	fe := w.events[fi]
+	nb := len(fe.cfg.Blocks)
+	if nb == 0 {
+		return false
+	}
+
+	// Fused forward analysis per block: pending reads (may, union),
+	// reachable-without-checkpoint (may, or), checkpointed-on-every-path
+	// (must, and).
+	type state struct {
+		pending BitSet
+		noCp    bool
+		mustCp  bool
+	}
+	in := make([]state, nb)
+	out := make([]state, nb)
+	for i := 0; i < nb; i++ {
+		in[i] = state{pending: NewBitSet(w.nvars)}
+		out[i] = state{pending: NewBitSet(w.nvars)}
+	}
+
+	transfer := func(b int, s state, report func(instr int, vars []int, viaCallee int)) state {
+		pend := NewBitSet(w.nvars)
+		pend.Copy(s.pending)
+		noCp, mustCp := s.noCp, s.mustCp
+		mayWrite := func(instr int, loc Loc, wide bool, via int) {
+			if wide {
+				return // cannot prove the write hits the read location
+			}
+			vars := w.varsOf(loc)
+			var hit []int
+			for _, v := range vars {
+				if pend.Has(v) {
+					hit = append(hit, v)
+				}
+			}
+			if len(hit) > 0 && report != nil {
+				report(instr, hit, via)
+			}
+		}
+		for _, ev := range fe.blocks[b] {
+			switch ev.kind {
+			case evRead:
+				for _, v := range w.varsOf(ev.loc) {
+					pend.Set(v)
+				}
+			case evWrite:
+				mayWrite(ev.instr, ev.loc, ev.wide, -1)
+			case evChkpt:
+				pend = NewBitSet(w.nvars)
+				noCp = false
+				mustCp = true
+			case evCall:
+				cs := w.summaries[ev.callee]
+				if report != nil {
+					var hit []int
+					for v := 0; v < w.nvars; v++ {
+						if pend.Has(v) && cs.mayWriteNoCp.Has(v) {
+							hit = append(hit, v)
+						}
+					}
+					if len(hit) > 0 {
+						report(ev.instr, hit, ev.callee)
+					}
+				}
+				if cs.sureCp {
+					pend = NewBitSet(w.nvars)
+					noCp = false
+					mustCp = true
+				}
+				pend.OrInto(cs.pendingAtExit)
+			}
+		}
+		return state{pending: pend, noCp: noCp, mustCp: mustCp}
+	}
+
+	rpo := fe.cfg.RPO()
+	// Entry state.
+	entry := rpo[0]
+	for iter := true; iter; {
+		iter = false
+		for _, b := range rpo {
+			var s state
+			if b == entry {
+				// Function entry is reachable with no checkpoint; a loop
+				// back to the entry block additionally joins below.
+				s = state{pending: NewBitSet(w.nvars), noCp: true, mustCp: false}
+			} else {
+				s = state{pending: NewBitSet(w.nvars), noCp: false, mustCp: true}
+			}
+			for _, p := range b.Preds {
+				s.pending.OrInto(out[p.ID].pending)
+				s.noCp = s.noCp || out[p.ID].noCp
+				s.mustCp = s.mustCp && out[p.ID].mustCp && b != entry
+			}
+			in[b.ID] = s
+			ns := transfer(b.ID, s, nil)
+			if !ns.pending.Eq(out[b.ID].pending) || ns.noCp != out[b.ID].noCp || ns.mustCp != out[b.ID].mustCp {
+				out[b.ID] = ns
+				iter = true
+			}
+		}
+	}
+
+	// Report with the converged block-entry states.
+	if report != nil {
+		for _, b := range rpo {
+			transfer(b.ID, in[b.ID], report)
+		}
+	}
+
+	// Assemble the new summary.
+	newSum := warSummary{
+		mayWriteNoCp:  NewBitSet(w.nvars),
+		pendingAtExit: NewBitSet(w.nvars),
+		sureCp:        true,
+	}
+	// mayWriteNoCp: walk blocks whose entry is reachable without a sure
+	// checkpoint; record precise writes (and callee mayWriteNoCp) seen
+	// before the in-block state loses noCp.
+	for _, b := range rpo {
+		s := in[b.ID]
+		if !s.noCp {
+			continue
+		}
+		noCp := true
+		for _, ev := range fe.blocks[b.ID] {
+			if !noCp {
+				break
+			}
+			switch ev.kind {
+			case evWrite:
+				if !ev.wide {
+					for _, v := range w.varsOf(ev.loc) {
+						newSum.mayWriteNoCp.Set(v)
+					}
+				}
+			case evChkpt:
+				noCp = false
+			case evCall:
+				cs := w.summaries[ev.callee]
+				newSum.mayWriteNoCp.OrInto(cs.mayWriteNoCp)
+				if cs.sureCp {
+					noCp = false
+				}
+			}
+		}
+	}
+	hasExit := false
+	for _, b := range rpo {
+		if len(b.Succs) == 0 {
+			hasExit = true
+			newSum.pendingAtExit.OrInto(out[b.ID].pending)
+			newSum.sureCp = newSum.sureCp && out[b.ID].mustCp
+		}
+	}
+	if !hasExit {
+		// The function never returns; nothing escapes to callers.
+		newSum.sureCp = true
+	}
+
+	old := w.summaries[fi]
+	changed := !old.mayWriteNoCp.Eq(newSum.mayWriteNoCp) ||
+		!old.pendingAtExit.Eq(newSum.pendingAtExit) ||
+		old.sureCp != newSum.sureCp
+	w.summaries[fi] = newSum
+	return changed
+}

@@ -60,7 +60,7 @@ func All() []App { return []App{BC(), CF(), AR(), GHMPlain(), GHMTinyOS()} }
 
 // ByName looks an app up.
 func ByName(name string) (App, bool) {
-	for _, a := range append(All(), Swap(), Bubble(), Timekeeping()) {
+	for _, a := range append(All(), Swap(), Bubble(), Timekeeping(), BCNoRecursion()) {
 		if a.Name == name {
 			return a, true
 		}

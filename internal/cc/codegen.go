@@ -60,6 +60,8 @@ type codegen struct {
 	// Per-function emission state.
 	fn       *FuncDecl
 	out      []isa.Instr
+	poss     []Pos // source position of each emitted instruction
+	curPos   Pos
 	relocs   []Reloc
 	labels   []int // label id → instruction index (-1 unbound)
 	labelDep []int // label id → expected operand-stack depth (-1 unknown)
@@ -236,6 +238,7 @@ func stackEffect(op isa.Op) (pops, pushes int) {
 func (cg *codegen) emit(op isa.Op, imm int32) int {
 	idx := len(cg.out)
 	cg.out = append(cg.out, isa.Instr{Op: op, Imm: imm})
+	cg.poss = append(cg.poss, cg.curPos)
 	if cg.dead {
 		return idx
 	}
@@ -314,6 +317,8 @@ func (cg *codegen) genFunc(fn *FuncDecl) (f *Func, err error) {
 	}()
 	cg.fn = fn
 	cg.out = nil
+	cg.poss = nil
+	cg.curPos = fn.P
 	cg.relocs = nil
 	cg.labels = nil
 	cg.labelDep = nil
@@ -373,12 +378,14 @@ func (cg *codegen) resolve(f *Func) {
 		}
 	}
 	f.Code = cg.out
+	f.Poss = cg.poss
 	f.Relocs = cg.relocs
 }
 
 // ---- Statements ----
 
 func (cg *codegen) stmt(s Stmt) error {
+	cg.curPos = s.Pos()
 	switch st := s.(type) {
 	case *Block:
 		for _, sub := range st.Stmts {
@@ -1009,6 +1016,7 @@ var compoundOp = map[Kind]isa.Op{
 }
 
 func (cg *codegen) assign(x *AssignExpr, need bool) error {
+	cg.curPos = x.Pos()
 	if x.Op == AtAssign {
 		if need {
 			return errf(x.Pos(), "@= cannot be used as a value")
@@ -1154,6 +1162,7 @@ func (cg *codegen) incDec(x *IncDec, need bool) error {
 // ---- Calls ----
 
 func (cg *codegen) call(x *Call, need bool) error {
+	cg.curPos = x.Pos()
 	if x.Builtin != NotBuiltin {
 		return cg.builtin(x, need)
 	}

@@ -389,12 +389,15 @@ func (cg *codegen) compact(keep []bool, relocated map[int]bool) {
 	}
 	newIdx[len(cg.out)] = n
 	out := make([]isa.Instr, 0, n)
+	poss := make([]Pos, 0, n)
 	for i, in := range cg.out {
 		if keep[i] {
 			out = append(out, in)
+			poss = append(poss, cg.poss[i])
 		}
 	}
 	cg.out = out
+	cg.poss = poss
 	for id, pos := range cg.labels {
 		if pos >= 0 {
 			cg.labels[id] = newIdx[pos]

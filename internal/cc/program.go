@@ -37,7 +37,11 @@ type Func struct {
 	MaxEvalWords  int // worst-case operand stack depth in words
 	Recursive     bool
 	Code          []isa.Instr
-	Relocs        []Reloc
+	// Poss is the source position of each instruction in Code (parallel
+	// slice, statement granularity). Hand-assembled functions may leave it
+	// nil; consumers must treat a nil or short slice as "position unknown".
+	Poss   []Pos
+	Relocs []Reloc
 	// StaticBase/StaticBytes describe the function's promoted frame in the
 	// globals space (static-locals mode only).
 	StaticBase  uint32
@@ -110,6 +114,18 @@ func (p *Program) MinSegmentBytes() int {
 func (p *Program) Global(name string) (GlobalInfo, bool) {
 	for _, g := range p.Globals {
 		if g.Name == name {
+			return g, true
+		}
+	}
+	return GlobalInfo{}, false
+}
+
+// GlobalAt maps an offset in the globals space to the variable (or its
+// shadow-timestamp slot array) that contains it. The second result is
+// false for offsets outside every variable (mark counters, padding).
+func (p *Program) GlobalAt(off uint32) (GlobalInfo, bool) {
+	for _, g := range p.Globals {
+		if off >= g.Offset && off < g.Offset+uint32(g.Size) {
 			return g, true
 		}
 	}

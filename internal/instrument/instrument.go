@@ -86,6 +86,8 @@ func applyFunc(f *cc.Func, pass Pass) error {
 	}
 
 	var out []isa.Instr
+	var poss []cc.Pos
+	trackPos := len(f.Poss) == len(f.Code)
 	newIdx := make([]int, len(f.Code)) // old instr index → new instr index
 	for i, in := range f.Code {
 		insertCp := false
@@ -99,12 +101,18 @@ func applyFunc(f *cc.Func, pass Pass) error {
 		}
 		if insertCp {
 			out = append(out, isa.Instr{Op: isa.Chkpt})
+			if trackPos {
+				poss = append(poss, f.Poss[i]) // inserted checkpoint belongs to the trigger site
+			}
 		}
 		if pass.LogStores {
 			in.Op = isa.Logged(in.Op)
 		}
 		newIdx[i] = len(out)
 		out = append(out, in)
+		if trackPos {
+			poss = append(poss, f.Poss[i])
+		}
 	}
 
 	// New byte offsets and the old→new offset map for branch targets.
@@ -135,6 +143,11 @@ func applyFunc(f *cc.Func, pass Pass) error {
 		in.Imm = int32(mapped)
 	}
 	f.Code = out
+	if trackPos {
+		f.Poss = poss
+	} else {
+		f.Poss = nil
+	}
 	f.Relocs = relocs
 	return nil
 }

@@ -1,0 +1,18 @@
+// Seeded checkpoint-gap hazard: the @expires region runs a 1000-iteration
+// undo-logged accumulation plus a radio send with checkpointing disabled.
+// Its worst-case cycle cost far exceeds a small capacitor budget, so the
+// region can never complete on one charge (analyze with -budget).
+@expires_after=50 int v;
+int acc;
+
+int main() {
+    v @= sense(0);
+    @expires(v) {
+        int i;
+        for (i = 0; i < 1000; i++) {
+            acc = acc + v * i;
+        }
+        send(acc);
+    }
+    return 0;
+}

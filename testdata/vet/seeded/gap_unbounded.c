@@ -1,0 +1,17 @@
+// Seeded unbounded checkpoint gap: the loop inside the @expires region
+// spins on a sensor value, so no static trip count exists. Checkpointing
+// is disabled for the whole region; under intermittent power it can
+// restart from the leading checkpoint forever.
+@expires_after=50 int v;
+int acc;
+
+int main() {
+    v @= sense(0);
+    @expires(v) {
+        while (sense(1) > 0) {
+            acc = acc + v;
+        }
+        out(0, acc);
+    }
+    return 0;
+}

@@ -1,0 +1,16 @@
+// Seeded unbounded-recursion hazard: `walk` calls itself, so no static
+// bound exists on the non-volatile working stack it consumes.
+int depth;
+
+int walk(int n) {
+    if (n <= 0) {
+        return 0;
+    }
+    return walk(n - 1) + 1;
+}
+
+int main() {
+    depth = walk(9);
+    out(0, depth);
+    return 0;
+}

@@ -1,0 +1,10 @@
+// Seeded time-consistency hazard: `sample` expires after 100 ms but is
+// transmitted without an @expires/@timely guard, so a power outage
+// between the sense and the send lets stale data leave the device.
+@expires_after=100 int sample;
+
+int main() {
+    sample @= sense(0);
+    send(sample);
+    return 0;
+}

@@ -1,0 +1,13 @@
+// Seeded WAR hazard: `total` is read and then written in every loop
+// iteration with no checkpoint between. Re-execution after a power
+// failure replays the addition against the already-updated value.
+int total;
+
+int main() {
+    int i;
+    for (i = 0; i < 10; i++) {
+        total = total + i;
+    }
+    out(0, total);
+    return 0;
+}
