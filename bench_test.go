@@ -7,7 +7,10 @@
 package tics_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	tics "repro"
@@ -15,6 +18,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/link"
 	"repro/internal/obs"
 	"repro/internal/power"
@@ -123,6 +127,70 @@ func BenchmarkFig10Study(b *testing.B) {
 		if _, err := experiments.Fig10(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- Fleet throughput (internal/fleet) ----
+
+// BenchmarkFleetThroughput runs whole fleets at several worker counts and
+// reports simulated device-cycles per wall second plus devices per
+// second. On a multi-core host the workers=4 run should beat workers=1
+// by >2× on the 64-device fleet; on a single-core host the pool
+// degrades to ~1× (the JSON records the CPU count so the two are not
+// confused). The n=64 results are written to BENCH_fleet.json — the CI
+// smoke step emits it with `-bench FleetThroughput -benchtime 1x`.
+func BenchmarkFleetThroughput(b *testing.B) {
+	byWorkers := map[int]map[string]float64{}
+	for _, n := range []int{16, 64} {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				cfg := fleet.Config{
+					Devices: n, Workers: workers, App: "ghm",
+					Power: "harvest:40000,800", Seed: 42, WallMs: 500,
+					Link: fleet.LinkParams{Loss: 0.05, Dup: 0.02, DelayMinMs: 2, DelayMaxMs: 20},
+				}
+				var rep *fleet.Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = fleet.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				devPerSec := float64(n) * float64(b.N) / b.Elapsed().Seconds()
+				b.ReportMetric(rep.Throughput, "device-cycles/s")
+				b.ReportMetric(devPerSec, "devices/s")
+				if n == 64 {
+					byWorkers[workers] = map[string]float64{
+						"devices_per_sec":       devPerSec,
+						"device_cycles_per_sec": rep.Throughput,
+					}
+				}
+			})
+		}
+	}
+	if len(byWorkers) == 0 {
+		return // sub-benchmark filter excluded the n=64 runs
+	}
+	out := map[string]any{
+		"n":    64,
+		"cpus": runtime.NumCPU(),
+		"app":  "ghm",
+	}
+	for w, m := range byWorkers {
+		out[fmt.Sprintf("workers_%d", w)] = m
+	}
+	if w1, ok1 := byWorkers[1]; ok1 {
+		if w4, ok4 := byWorkers[4]; ok4 {
+			out["speedup_w4_over_w1"] = w4["devices_per_sec"] / w1["devices_per_sec"]
+		}
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fleet.json", append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

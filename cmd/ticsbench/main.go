@@ -4,6 +4,11 @@
 //	ticsbench -experiment all
 //	ticsbench -experiment table2
 //	ticsbench -list
+//
+// Experiments are independent of one another, so -experiment all runs
+// them concurrently on a bounded worker pool (-workers, default
+// GOMAXPROCS) and prints the reports in registry order regardless of
+// which finished first.
 package main
 
 import (
@@ -13,11 +18,13 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 )
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "experiment id (table1..table5, fig8..fig10) or 'all'")
+		workers    = flag.Int("workers", 0, "experiments to run concurrently (0 = GOMAXPROCS)")
 		list       = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
@@ -37,21 +44,37 @@ func main() {
 	} else {
 		ids = strings.Split(*experiment, ",")
 	}
+	exps := make([]experiments.Entry, len(ids))
 	for i, id := range ids {
 		e, ok := experiments.Find(strings.TrimSpace(id))
 		if !ok {
 			fmt.Fprintf(os.Stderr, "ticsbench: unknown experiment %q (use -list)\n", id)
 			os.Exit(1)
 		}
-		rep, err := e.Run()
+		exps[i] = e
+	}
+
+	// Run concurrently, collect by index, print in request order: output
+	// is byte-identical to the old serial loop for any worker count.
+	texts := make([]string, len(exps))
+	errs := make([]error, len(exps))
+	fleet.ParallelFor(len(exps), *workers, func(i int) {
+		rep, err := exps[i].Run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ticsbench: %s: %v\n", e.ID, err)
+			errs[i] = err
+			return
+		}
+		texts[i] = rep.Text
+	})
+	for i, e := range exps {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "ticsbench: %s: %v\n", e.ID, errs[i])
 			os.Exit(1)
 		}
 		if i > 0 {
 			fmt.Println(strings.Repeat("=", 78))
 		}
-		fmt.Print(rep.Text)
+		fmt.Print(texts[i])
 		fmt.Println()
 	}
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// TestWritePromShards: the exporter writes the merged registry followed
+// by every device's own series under {shard="devN"}.
+func TestWritePromShards(t *testing.T) {
+	rep, err := fleet.Run(fleet.Config{
+		Devices: 2, Workers: 1, App: "ghm", WallMs: 50, Collect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fleet.prom")
+	if err := writeProm(rep, path, true); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(b)
+	if !strings.Contains(out, "fleet_devices 2") {
+		t.Fatalf("merged fleet counters missing:\n%.400s", out)
+	}
+	for _, shard := range []string{`{shard="dev0"}`, `{shard="dev1"}`} {
+		if !strings.Contains(out, shard) {
+			t.Fatalf("per-device series %s missing:\n%.400s", shard, out)
+		}
+	}
+}

@@ -61,6 +61,7 @@ func main() {
 		profileOut = flag.String("profile", "", "write folded stacks (flamegraph.pl input) to FILE")
 		metrics    = flag.Bool("metrics", false, "dump the metrics registry and cycle attribution to stdout")
 		quiet      = flag.Bool("quiet", false, "suppress everything except the send log")
+		seq        = flag.Bool("seq", false, "print each transmitted packet with its send-sequence number")
 
 		auditMode = flag.String("audit", "off", "trace auditor: off | summary | fail (exit 1 on violation)")
 		recordOut = flag.String("record", "", "record the run: write a replay manifest to FILE")
@@ -88,7 +89,7 @@ func main() {
 	}
 
 	if *replayIn != "" {
-		runReplay(*replayIn, *bisectRt, attach, auditors2(&auditors), *auditMode)
+		runReplay(*replayIn, *bisectRt, *seq, attach, auditors2(&auditors), *auditMode)
 		return
 	}
 	if *bisectRt != "" {
@@ -124,7 +125,7 @@ func main() {
 		if err := replay.WriteManifest(*recordOut, man); err != nil {
 			fatal(err)
 		}
-		printResult(os.Stdout, run.Result, *quiet)
+		printResult(os.Stdout, run.Result, *quiet, *seq)
 		fmt.Printf("recorded:     %s (%d events, %d power windows, sha256 %.12s…)\n",
 			*recordOut, man.EventCount, len(man.Windows), man.EventsSHA256)
 		finishAudit(auditors, *auditMode)
@@ -192,7 +193,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ticsrun: fault: %v\n", err)
 	}
 
-	printResult(os.Stdout, res, *quiet)
+	printResult(os.Stdout, res, *quiet, *seq)
 
 	if rec != nil {
 		if err := exportRecorder(rec, *traceOut, *eventsOut, *profileOut); err != nil {
@@ -214,7 +215,7 @@ func auditors2(as *[]*audit.Auditor) func() []*audit.Auditor {
 
 // runReplay handles -replay (bit-identical re-execution, verified against
 // the manifest) and -replay -bisect (two replays, first divergence).
-func runReplay(path, bisectRt string, attach replay.AttachFunc, auditors func() []*audit.Auditor, auditMode string) {
+func runReplay(path, bisectRt string, seq bool, attach replay.AttachFunc, auditors func() []*audit.Auditor, auditMode string) {
 	man, err := replay.ReadManifest(path)
 	if err != nil {
 		fatal(err)
@@ -235,7 +236,7 @@ func runReplay(path, bisectRt string, attach replay.AttachFunc, auditors func() 
 	if err != nil {
 		fatal(err)
 	}
-	printResult(os.Stdout, run.Result, false)
+	printResult(os.Stdout, run.Result, false, seq)
 	if err := replay.VerifyReplay(man, run); err != nil {
 		fmt.Fprintln(os.Stderr, "ticsrun:", err)
 		os.Exit(1)
@@ -265,8 +266,12 @@ func finishAudit(auditors []*audit.Auditor, mode string) {
 
 // printResult renders a run in deterministic order: fixed-position lines,
 // channels ascending, runtime stats by sorted key. With quiet set only the
-// send log is shown.
-func printResult(w io.Writer, res vm.Result, quiet bool) {
+// send log is shown. With seq set each transmitted packet is printed as a
+// `send seq=… value=…` line — the per-packet view that diffs directly
+// against a fleet gateway's per-device delivery log (same seq ⇒ same
+// logical packet; a seq printed twice is a raw-radio replay the gateway
+// deduplicates).
+func printResult(w io.Writer, res vm.Result, quiet, seq bool) {
 	if !quiet {
 		status := "completed"
 		switch {
@@ -292,6 +297,12 @@ func printResult(w io.Writer, res vm.Result, quiet bool) {
 	}
 	if n := len(res.SendLog); n > 0 {
 		fmt.Fprintf(w, "radio:        %d packets, first %v\n", n, res.SendLog[0].Value)
+		if seq {
+			for _, rec := range res.SendLog {
+				fmt.Fprintf(w, "send          seq=%d value=%d t=%.3fms est=%dms\n",
+					rec.Seq, rec.Value, rec.TrueMs, rec.EstMs)
+			}
+		}
 	}
 	if quiet {
 		return

@@ -30,7 +30,7 @@ func TestPrintResultIsDeterministic(t *testing.T) {
 	var first string
 	for i := 0; i < 20; i++ {
 		var b strings.Builder
-		printResult(&b, sampleResult(), false)
+		printResult(&b, sampleResult(), false, false)
 		if i == 0 {
 			first = b.String()
 		} else if b.String() != first {
@@ -47,9 +47,41 @@ func TestPrintResultIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestSeqPrintsPerSendSequenceNumbers: -seq emits one line per packet
+// carrying the send-sequence number, the identity a fleet gateway
+// deduplicates by, so the device-side log diffs against gateway
+// attribution.
+func TestSeqPrintsPerSendSequenceNumbers(t *testing.T) {
+	res := sampleResult()
+	res.SendLog = []vm.SendRec{
+		{Value: 42, Seq: 0, TrueMs: 1.5, EstMs: 1},
+		{Value: 42, Seq: 0, TrueMs: 3.5, EstMs: 3}, // raw-radio replay: same seq
+		{Value: 43, Seq: 1, TrueMs: 5.25, EstMs: 5},
+	}
+	var b strings.Builder
+	printResult(&b, res, false, true)
+	out := b.String()
+	for _, want := range []string{
+		"send          seq=0 value=42 t=1.500ms est=1ms",
+		"send          seq=0 value=42 t=3.500ms est=3ms",
+		"send          seq=1 value=43 t=5.250ms est=5ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Without -seq the per-send lines stay off.
+	b.Reset()
+	printResult(&b, res, false, false)
+	if strings.Contains(b.String(), "seq=") {
+		t.Fatalf("-seq lines printed without the flag:\n%s", b.String())
+	}
+}
+
 func TestQuietShowsOnlyTheSendLog(t *testing.T) {
 	var b strings.Builder
-	printResult(&b, sampleResult(), true)
+	printResult(&b, sampleResult(), true, false)
 	out := strings.TrimSpace(b.String())
 	lines := strings.Split(out, "\n")
 	if len(lines) != 1 || !strings.HasPrefix(lines[0], "radio:") {
@@ -60,7 +92,7 @@ func TestQuietShowsOnlyTheSendLog(t *testing.T) {
 	res := sampleResult()
 	res.SendLog = nil
 	b.Reset()
-	printResult(&b, res, true)
+	printResult(&b, res, true, false)
 	if b.Len() != 0 {
 		t.Fatalf("quiet with no sends printed:\n%s", b.String())
 	}

@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"sort"
+
+	"repro/internal/vm"
+)
+
+// LinkParams models one device's lossy radio link to the gateway. The
+// paper's deployments report over exactly this kind of channel, and its
+// two failure modes are the ones the gateway must absorb: frames vanish
+// (loss) and frames arrive more than once (radio duplication, and ARQ
+// retransmits triggered by lost acknowledgements).
+type LinkParams struct {
+	// Loss is the per-frame loss probability in [0, 1); it applies to
+	// data frames and, when Retransmits > 0, to the gateway's ACKs too —
+	// a lost ACK makes the device retransmit a frame the gateway already
+	// has, which is how real links manufacture duplicates.
+	Loss float64
+	// Dup is the probability the channel itself duplicates a delivered
+	// frame (multipath / repeater echo).
+	Dup float64
+	// DelayMinMs/DelayMaxMs bound the one-way propagation + queueing
+	// delay, drawn uniformly per frame.
+	DelayMinMs float64
+	DelayMaxMs float64
+	// Retransmits is how many extra attempts the device's link layer
+	// makes per frame (0 = fire and forget).
+	Retransmits int
+	// BackoffMs separates retransmit attempts (default 5 ms).
+	BackoffMs float64
+}
+
+// Arrival is one frame reaching the gateway.
+type Arrival struct {
+	Dev      int     // source device index
+	Seq      int64   // device send-sequence number (vm.SendRec.Seq)
+	Value    int32   // payload
+	SentMs   float64 // true wall-clock time of the original send
+	DeviceMs int64   // the device's own clock at the send
+	ArriveMs float64 // true wall-clock arrival time at the gateway
+	Attempt  int     // 0 = first transmission, >0 = link-layer retransmit
+	Echo     bool    // true for a channel-duplicated copy
+}
+
+// LinkStats counts what one device's link did to its traffic.
+type LinkStats struct {
+	Packets     int64 // sends offered to the link
+	Frames      int64 // frames actually transmitted (incl. retransmits)
+	FramesLost  int64 // data frames the channel dropped
+	AcksLost    int64 // ACKs the channel dropped (each forces a retransmit)
+	Echoes      int64 // channel-duplicated copies delivered
+	Undelivered int64 // packets whose every attempt was lost
+}
+
+func (s *LinkStats) add(o LinkStats) {
+	s.Packets += o.Packets
+	s.Frames += o.Frames
+	s.FramesLost += o.FramesLost
+	s.AcksLost += o.AcksLost
+	s.Echoes += o.Echoes
+	s.Undelivered += o.Undelivered
+}
+
+// linkRNG is a private splitmix64 stream. Each device's link owns one,
+// seeded from the device seed, so the channel's draws are a pure
+// function of (fleet seed, device index, send order) — independent of
+// worker count and host scheduling.
+type linkRNG struct{ s uint64 }
+
+func (r *linkRNG) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *linkRNG) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// linkSalt decorrelates the link RNG stream from the power/sensor/clock
+// streams that share the device seed.
+const linkSalt = 0xC2B2AE3D27D4EB4F
+
+// Transmit pushes one device's send log through its link and returns the
+// frames that reach the gateway, in transmission order. Deterministic:
+// the same (seed, log) always yields the same arrivals.
+func Transmit(dev int, seed uint64, p LinkParams, log []vm.SendRec) ([]Arrival, LinkStats) {
+	rng := linkRNG{s: seed ^ linkSalt}
+	backoff := p.BackoffMs
+	if backoff <= 0 {
+		backoff = 5
+	}
+	spread := p.DelayMaxMs - p.DelayMinMs
+	if spread < 0 {
+		spread = 0
+	}
+	delay := func() float64 { return p.DelayMinMs + spread*rng.float() }
+
+	var out []Arrival
+	var st LinkStats
+	for _, rec := range log {
+		st.Packets++
+		delivered := false
+		for attempt := 0; attempt <= p.Retransmits; attempt++ {
+			st.Frames++
+			txMs := rec.TrueMs + float64(attempt)*backoff
+			if rng.float() < p.Loss {
+				st.FramesLost++
+				continue // next attempt, if the link layer has one
+			}
+			a := Arrival{
+				Dev: dev, Seq: rec.Seq, Value: rec.Value,
+				SentMs: rec.TrueMs, DeviceMs: rec.EstMs,
+				ArriveMs: txMs + delay(), Attempt: attempt,
+			}
+			out = append(out, a)
+			delivered = true
+			if p.Dup > 0 && rng.float() < p.Dup {
+				echo := a
+				echo.ArriveMs += delay()
+				echo.Echo = true
+				out = append(out, echo)
+				st.Echoes++
+			}
+			// The gateway ACKs the frame; if the ACK is lost the device
+			// cannot tell its frame arrived and retransmits it — the
+			// classic duplicate-manufacturing path of ARQ links.
+			if attempt < p.Retransmits && rng.float() < p.Loss {
+				st.AcksLost++
+				continue
+			}
+			break
+		}
+		if !delivered {
+			st.Undelivered++
+		}
+	}
+	return out, st
+}
+
+// SortArrivals orders frames the way the gateway observes them: by
+// arrival time, tie-broken by (device, sequence, attempt, echo) so the
+// global order is total and therefore identical on every run.
+func SortArrivals(arrivals []Arrival) {
+	sort.Slice(arrivals, func(i, j int) bool {
+		a, b := arrivals[i], arrivals[j]
+		if a.ArriveMs != b.ArriveMs {
+			return a.ArriveMs < b.ArriveMs
+		}
+		if a.Dev != b.Dev {
+			return a.Dev < b.Dev
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.Attempt != b.Attempt {
+			return a.Attempt < b.Attempt
+		}
+		return !a.Echo && b.Echo
+	})
+}

@@ -1,0 +1,348 @@
+// Package fleet scales the single-device simulation out to a deployment:
+// N devices — each its own vm.Machine, runtime instance, seeded power
+// source, sensors and persistent clock — run concurrently on a
+// work-stealing worker pool, report over a simulated lossy RF channel
+// (per-link loss, duplication, delay, ARQ retransmits), and land on a
+// gateway that deduplicates by (device, send-sequence) and accounts
+// freshness against an @expires_after-style deadline.
+//
+// Determinism is load-bearing. Per-device seeds derive from the fleet
+// seed through a splitmix64 mixer, every device owns all of its mutable
+// state (no shared RNGs anywhere), and the channel + gateway post-pass
+// runs single-threaded over results collected by device index — so a
+// fleet's gateway log digest and merged metrics are byte-identical
+// whether it ran on 1 worker or GOMAXPROCS workers. Any single device of
+// a fleet can be exported as an internal/replay manifest and re-executed
+// bit-identically for debugging.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	tics "repro"
+	"repro/internal/obs"
+	"repro/internal/replay"
+	"repro/internal/sensors"
+	"repro/internal/vm"
+)
+
+// Config describes a fleet run. The per-device fields mirror
+// replay.Spec on purpose: device i of a fleet *is* the single-device
+// run DeviceSpec(i) describes, which is what makes fleet anomalies
+// exportable to the single-device record/replay tooling.
+type Config struct {
+	Devices int // fleet size (default 1)
+	Workers int // worker pool size (0 = GOMAXPROCS)
+
+	App     string // built-in benchmark name, or
+	Source  string // inline TICS-C source
+	Runtime string // runtime kind (default "tics")
+	Segment int    // TICS segment bytes (0 = minimum)
+
+	Power string // power spec, replay.ParsePower syntax (default "harvest:40000,800")
+	Clock string // clock spec, replay.ParseClock syntax (default "perfect")
+	Seed  uint64 // fleet seed; device seeds derive from it via DeviceSeed
+
+	TimerMs   float64 // timer-checkpoint period (0 = off)
+	WallMs    float64 // per-device wall budget (0 = run to completion)
+	MaxCycles int64   // per-device cycle watchdog (0 = vm default)
+
+	// Virtualize turns on exactly-once sends at the device (the paper's
+	// I/O virtualization); off, the raw radio duplicates replayed sends
+	// and only the gateway's dedup absorbs them.
+	Virtualize bool
+
+	Link        LinkParams // RF channel model, identical per link
+	FreshnessMs float64    // gateway end-to-end freshness deadline (0 = off)
+
+	// Collect attaches a flight recorder to every device and folds the
+	// per-device metric registries into Report.Metrics via
+	// obs.Registry.Merge.
+	Collect bool
+}
+
+// DeviceSeed derives device i's seed from the fleet seed with a
+// splitmix64-style mixer. The derivation is position-based and
+// stateless, so it does not depend on the order devices are simulated
+// in — the root of the fleet's worker-count independence.
+func DeviceSeed(fleetSeed uint64, dev int) uint64 {
+	z := fleetSeed + 0x9E3779B97F4A7C15*uint64(dev+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15 // seed 0 collapses some seeded sources
+	}
+	return z
+}
+
+// DeviceSpec returns the replay spec describing device dev of this
+// fleet — the handle for exporting a fleet member to the single-device
+// tooling (ticsrun -replay, the auditor, the bisector).
+func (c Config) DeviceSpec(dev int) replay.Spec {
+	return replay.Spec{
+		App:        c.App,
+		Source:     c.Source,
+		Runtime:    c.runtime(),
+		Segment:    c.Segment,
+		Power:      c.power(),
+		Clock:      c.clock(),
+		Seed:       DeviceSeed(c.Seed, dev),
+		TimerMs:    c.TimerMs,
+		WallMs:     c.WallMs,
+		MaxCycles:  c.MaxCycles,
+		Virtualize: c.Virtualize,
+	}
+}
+
+func (c Config) runtime() string {
+	if c.Runtime == "" {
+		return "tics"
+	}
+	return c.Runtime
+}
+
+func (c Config) power() string {
+	if c.Power == "" {
+		return "harvest:40000,800"
+	}
+	return c.Power
+}
+
+func (c Config) clock() string {
+	if c.Clock == "" {
+		return "perfect"
+	}
+	return c.Clock
+}
+
+// DeviceOutcome is one device's run, collected by index.
+type DeviceOutcome struct {
+	ID   int
+	Seed uint64
+	Res  vm.Result
+	Err  error
+}
+
+// Report is a fleet run's aggregate result.
+type Report struct {
+	Devices int     `json:"devices"`
+	Workers int     `json:"workers"`
+	Seed    uint64  `json:"seed"`
+	Elapsed float64 `json:"elapsed_sec"` // host wall time of the device phase
+
+	TotalCycles int64   `json:"total_cycles"`          // simulated cycles across all devices
+	Throughput  float64 `json:"device_cycles_per_sec"` // TotalCycles / Elapsed
+
+	Completed int `json:"completed"`
+	Starved   int `json:"starved"`
+	TimedOut  int `json:"timed_out"`
+	Faulted   int `json:"faulted"`
+
+	Sends       int64 `json:"sends"`        // packets offered to the radios (incl. device-side replays)
+	UniqueSends int64 `json:"unique_sends"` // distinct (device, seq) packets
+	Link        LinkStats
+	Gateway     GatewayStats
+	Lost        int64   `json:"lost"` // unique packets that never reached the gateway
+	LatencyP50  float64 `json:"latency_p50_ms"`
+	LatencyP99  float64 `json:"latency_p99_ms"`
+	Digest      string  `json:"digest"` // gateway log digest (determinism witness)
+
+	// Metrics is the fold of every device's registry (Collect only),
+	// plus fleet_* rollup counters.
+	Metrics *obs.Registry `json:"-"`
+
+	Outcomes   []DeviceOutcome `json:"-"`
+	gw         *Gateway
+	registries []*obs.Registry
+}
+
+// GatewayLog returns the accepted deliveries in observation order.
+func (r *Report) GatewayLog() []Delivery { return r.gw.Log() }
+
+// DeviceLog returns the deliveries the gateway attributed to device dev.
+func (r *Report) DeviceLog(dev int) []Delivery { return r.gw.DeviceLog(dev) }
+
+// DeviceRegistry returns device dev's own metrics registry (nil unless
+// the fleet ran with Collect).
+func (r *Report) DeviceRegistry(dev int) *obs.Registry {
+	if r.registries == nil {
+		return nil
+	}
+	return r.registries[dev]
+}
+
+// Run simulates the fleet: devices in parallel on the pool, then the
+// deterministic single-threaded channel → gateway → merge post-pass.
+func Run(cfg Config) (*Report, error) {
+	n := cfg.Devices
+	if n <= 0 {
+		n = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Build once, share everywhere: the linked image is immutable after
+	// Build (machines copy it into their private memories), and it is by
+	// far the most expensive per-device setup cost.
+	img, _, err := replay.BuildImage(cfg.DeviceSpec(0))
+	if err != nil {
+		return nil, err
+	}
+
+	outcomes := make([]DeviceOutcome, n)
+	var registries []*obs.Registry
+	if cfg.Collect {
+		registries = make([]*obs.Registry, n)
+	}
+	start := time.Now()
+	ParallelFor(n, workers, func(i int) {
+		outcomes[i] = runDevice(img, cfg, i, registries)
+	})
+	elapsed := time.Since(start).Seconds()
+
+	rep := &Report{
+		Devices:    n,
+		Workers:    workers,
+		Seed:       cfg.Seed,
+		Elapsed:    elapsed,
+		Outcomes:   outcomes,
+		registries: registries,
+	}
+	for i := range outcomes {
+		if outcomes[i].Err != nil {
+			return nil, fmt.Errorf("fleet: device %d: %w", i, outcomes[i].Err)
+		}
+		res := &outcomes[i].Res
+		rep.TotalCycles += res.Cycles
+		switch {
+		case res.Fault != nil:
+			rep.Faulted++
+		case res.Starved:
+			rep.Starved++
+		case res.TimedOut:
+			rep.TimedOut++
+		case res.Completed:
+			rep.Completed++
+		}
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.TotalCycles) / elapsed
+	}
+
+	// Deterministic post-pass: channel and gateway run single-threaded
+	// over per-device logs in device order, so the digest cannot depend
+	// on how the pool scheduled the device phase.
+	gw := NewGateway(cfg.FreshnessMs)
+	var arrivals []Arrival
+	for i := range outcomes {
+		log := outcomes[i].Res.SendLog
+		rep.Sends += int64(len(log))
+		seqs := map[int64]struct{}{}
+		for _, rec := range log {
+			seqs[rec.Seq] = struct{}{}
+		}
+		rep.UniqueSends += int64(len(seqs))
+		devArr, st := Transmit(i, DeviceSeed(cfg.Seed, i), cfg.Link, log)
+		rep.Link.add(st)
+		arrivals = append(arrivals, devArr...)
+	}
+	SortArrivals(arrivals)
+	for _, a := range arrivals {
+		gw.Accept(a)
+	}
+	rep.gw = gw
+	rep.Gateway = gw.Stats()
+	rep.Lost = rep.UniqueSends - int64(gw.Unique())
+	rep.LatencyP50 = gw.LatencyQuantile(0.50)
+	rep.LatencyP99 = gw.LatencyQuantile(0.99)
+	rep.Digest = gw.Digest()
+
+	if cfg.Collect {
+		merged := obs.NewRegistry()
+		for i, reg := range registries {
+			if reg == nil {
+				continue
+			}
+			if err := merged.Merge(reg); err != nil {
+				return nil, fmt.Errorf("fleet: device %d: %w", i, err)
+			}
+		}
+		merged.Add("fleet_devices", int64(n))
+		merged.Add("fleet_total_cycles", rep.TotalCycles)
+		merged.Add("fleet_sends_unique", rep.UniqueSends)
+		merged.Add("fleet_gateway_delivered", rep.Gateway.Delivered)
+		merged.Add("fleet_gateway_duplicates", rep.Gateway.Duplicates)
+		merged.Add("fleet_gateway_expired", rep.Gateway.Expired)
+		merged.Add("fleet_packets_lost", rep.Lost)
+		rep.Metrics = merged
+	}
+	return rep, nil
+}
+
+// runDevice executes one device with fully private state: its own
+// machine and runtime instance, its own seeded power source, sensor
+// bank and clock, and (when collecting) its own recorder. Nothing here
+// may touch state shared with another device — the -race fleet test
+// enforces it.
+func runDevice(img *tics.Image, cfg Config, dev int, registries []*obs.Registry) DeviceOutcome {
+	seed := DeviceSeed(cfg.Seed, dev)
+	out := DeviceOutcome{ID: dev, Seed: seed}
+	src, err := replay.ParsePower(cfg.power(), seed)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	clock, err := replay.ParseClock(cfg.clock(), seed)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	var rec *obs.Recorder
+	if registries != nil {
+		// A small ring: fleet aggregation wants the metrics, not the
+		// event history (export a device to replay for that).
+		rec = obs.NewRecorder(obs.Options{RingCap: 64})
+		registries[dev] = rec.Metrics()
+	}
+	m, err := tics.NewMachine(img, tics.RunOptions{
+		Power:           src,
+		Clock:           clock,
+		Sensors:         sensors.NewBank(seed),
+		AutoCpPeriodMs:  cfg.TimerMs,
+		MaxWallMs:       cfg.WallMs,
+		MaxCycles:       cfg.MaxCycles,
+		VirtualizeSends: cfg.Virtualize,
+		Recorder:        rec,
+	})
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	res, runErr := m.Run()
+	out.Res = res
+	// A program fault is a device outcome, not a fleet error; it is
+	// already folded into Res.Fault. Only setup errors abort the fleet.
+	_ = runErr
+	return out
+}
+
+// ExportDevice records device dev of the fleet as a replay manifest —
+// the bridge from "device 371 looks wrong in the fleet" to the
+// single-device auditor/replay/bisect tooling. The recorded run executes
+// the same spec with the same derived seed, so its result digest matches
+// the fleet outcome and the manifest re-verifies via replay.VerifyReplay.
+func ExportDevice(cfg Config, dev int) (*replay.Manifest, *replay.Run, error) {
+	n := cfg.Devices
+	if n <= 0 {
+		n = 1
+	}
+	if dev < 0 || dev >= n {
+		return nil, nil, errors.New("fleet: device index out of range")
+	}
+	return replay.Record(cfg.DeviceSpec(dev), nil)
+}

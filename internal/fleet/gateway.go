@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// Gateway is the fleet's sink: it deduplicates arrivals by (device,
+// sequence) and accounts freshness against an @expires_after-style
+// deadline. Dedup by the device's committed send sequence absorbs every
+// duplication mode at once — device-side replays after a rollback (the
+// raw radio re-sending with the same Seq), link-layer retransmits after
+// a lost ACK, and channel echoes — which is what makes the end-to-end
+// pipeline exactly-once even when no single hop is.
+type Gateway struct {
+	// FreshnessMs is the end-to-end deadline: a packet whose first
+	// arrival lands more than FreshnessMs after its send is expired —
+	// delivered data that is too stale to act on, the paper's central
+	// time-consistency hazard pushed out to the network. Zero disables.
+	FreshnessMs float64
+
+	seen  map[gwKey]struct{}
+	log   []Delivery
+	lat   []float64
+	stats GatewayStats
+}
+
+type gwKey struct {
+	dev int
+	seq int64
+}
+
+// Delivery is one accepted (fresh, first-arrival) packet.
+type Delivery struct {
+	Dev      int     `json:"dev"`
+	Seq      int64   `json:"seq"`
+	Value    int32   `json:"value"`
+	SentMs   float64 `json:"sent_ms"`
+	ArriveMs float64 `json:"arrive_ms"`
+}
+
+// GatewayStats counts what the gateway did with the arrival stream.
+type GatewayStats struct {
+	Arrivals   int64 `json:"arrivals"`   // frames observed
+	Delivered  int64 `json:"delivered"`  // unique fresh packets accepted
+	Duplicates int64 `json:"duplicates"` // repeat (device, seq) arrivals dropped
+	Expired    int64 `json:"expired"`    // unique packets past the freshness deadline
+}
+
+// NewGateway builds an empty gateway with the given freshness deadline
+// (0 = no deadline).
+func NewGateway(freshnessMs float64) *Gateway {
+	return &Gateway{FreshnessMs: freshnessMs, seen: make(map[gwKey]struct{})}
+}
+
+// Accept processes one arrival. Call in gateway observation order (see
+// SortArrivals) for deterministic logs.
+func (g *Gateway) Accept(a Arrival) {
+	g.stats.Arrivals++
+	k := gwKey{a.Dev, a.Seq}
+	if _, dup := g.seen[k]; dup {
+		g.stats.Duplicates++
+		return
+	}
+	g.seen[k] = struct{}{}
+	if g.FreshnessMs > 0 && a.ArriveMs-a.SentMs > g.FreshnessMs {
+		g.stats.Expired++
+		return
+	}
+	g.stats.Delivered++
+	g.log = append(g.log, Delivery{Dev: a.Dev, Seq: a.Seq, Value: a.Value, SentMs: a.SentMs, ArriveMs: a.ArriveMs})
+	g.lat = append(g.lat, a.ArriveMs-a.SentMs)
+}
+
+// Stats returns the gateway counters.
+func (g *Gateway) Stats() GatewayStats { return g.stats }
+
+// Log returns the accepted deliveries in observation order.
+func (g *Gateway) Log() []Delivery { return g.log }
+
+// Unique returns how many distinct (device, sequence) packets arrived,
+// fresh or expired.
+func (g *Gateway) Unique() int { return len(g.seen) }
+
+// DeviceLog returns the deliveries attributed to one device, in
+// observation order — the view `ticsrun -seq` output diffs against.
+func (g *Gateway) DeviceLog(dev int) []Delivery {
+	var out []Delivery
+	for _, d := range g.log {
+		if d.Dev == dev {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Digest is a SHA-256 over the delivery log's canonical rendering — the
+// fleet's one-line determinism witness: identical digests mean identical
+// deliveries in identical order.
+func (g *Gateway) Digest() string {
+	h := sha256.New()
+	for _, d := range g.log {
+		fmt.Fprintf(h, "%d %d %d %.6f %.6f\n", d.Dev, d.Seq, d.Value, d.SentMs, d.ArriveMs)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// LatencyQuantile returns the q-quantile (0..1) of end-to-end delivery
+// latency in ms, exact over the accepted deliveries (0 when none).
+func (g *Gateway) LatencyQuantile(q float64) float64 {
+	if len(g.lat) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), g.lat...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

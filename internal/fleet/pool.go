@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// span is one worker's initial share of the index range. next is claimed
+// atomically, so any worker — the owner or a thief — can take indices
+// from it without locks.
+type span struct {
+	next  atomic.Int64
+	limit int64
+	// Pad spans apart so adjacent atomics do not share a cache line; the
+	// claim counter is the only contended word in the pool's hot path.
+	_ [48]byte
+}
+
+// ParallelFor runs job(0) … job(n-1) on a work-stealing pool of workers
+// goroutines (workers <= 0 means GOMAXPROCS). The range is split into
+// per-worker spans; a worker drains its own span first and then steals
+// from the other spans, so skewed per-index costs still load-balance.
+// Every index runs exactly once. ParallelFor returns when all jobs have
+// finished.
+//
+// Jobs run concurrently, so they must not share mutable state; the
+// convention throughout this package is that job(i) writes only to the
+// i-th slot of pre-sized result slices, which also makes the overall
+// outcome independent of scheduling order.
+func ParallelFor(n, workers int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	spans := make([]span, workers)
+	per, rem := n/workers, n%workers
+	lo := 0
+	for w := range spans {
+		sz := per
+		if w < rem {
+			sz++
+		}
+		spans[w].next.Store(int64(lo))
+		spans[w].limit = int64(lo + sz)
+		lo += sz
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			// Own span first, then sweep the others as a thief.
+			for off := 0; off < workers; off++ {
+				s := &spans[(w+off)%workers]
+				for {
+					i := s.next.Add(1) - 1
+					if i >= s.limit {
+						break
+					}
+					job(int(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Add("commits", 3)
+	a.SetGauge("ratio", 0.5)
+	a.RegisterHistogram("lat", []float64{10, 100})
+	a.Observe("lat", 5)
+	a.Observe("lat", 50)
+
+	b := NewRegistry()
+	b.Add("commits", 4)
+	b.Inc("restores")
+	b.SetGauge("ratio", 0.25)
+	b.RegisterHistogram("lat", []float64{10, 100})
+	b.Observe("lat", 500)
+	b.RegisterHistogram("undo", []float64{8})
+	b.Observe("undo", 2)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Counter("commits"); got != 7 {
+		t.Fatalf("commits = %d, want 7", got)
+	}
+	if got := a.Counter("restores"); got != 1 {
+		t.Fatalf("restores = %d, want 1", got)
+	}
+	if got := a.Gauge("ratio"); got != 0.75 {
+		t.Fatalf("ratio = %g, want 0.75", got)
+	}
+	lat := a.Histogram("lat")
+	if lat.Count != 3 || lat.Sum != 555 || lat.Min != 5 || lat.Max != 500 {
+		t.Fatalf("lat after merge: %+v", lat)
+	}
+	if lat.Counts[0] != 1 || lat.Counts[1] != 1 || lat.Counts[2] != 1 {
+		t.Fatalf("lat buckets after merge: %v", lat.Counts)
+	}
+
+	// A histogram only the source had is cloned in, not aliased.
+	undo := a.Histogram("undo")
+	if undo == nil || undo.Count != 1 {
+		t.Fatalf("undo not merged in: %+v", undo)
+	}
+	if undo == b.Histogram("undo") {
+		t.Fatal("merged-in histogram aliases the source registry")
+	}
+	undo.Observe(3)
+	if b.Histogram("undo").Count != 1 {
+		t.Fatal("observing the merged copy mutated the source")
+	}
+
+	// The source registry is untouched by the merge.
+	if b.Counter("commits") != 4 || b.Histogram("lat").Count != 1 {
+		t.Fatalf("merge mutated its source: %+v", b)
+	}
+}
+
+func TestRegistryMergeBoundsMismatch(t *testing.T) {
+	a := NewRegistry()
+	a.RegisterHistogram("lat", []float64{10, 100})
+	b := NewRegistry()
+	b.RegisterHistogram("lat", []float64{10, 200})
+	err := a.Merge(b)
+	if err == nil || !strings.Contains(err.Error(), "lat") {
+		t.Fatalf("bounds mismatch not refused: %v", err)
+	}
+
+	c := NewRegistry()
+	c.RegisterHistogram("lat", []float64{10})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("bucket-count mismatch not refused")
+	}
+}
+
+func TestHistogramCloneIsDeep(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1.5)
+	c := h.Clone()
+	c.Observe(10)
+	if h.Count != 1 || c.Count != 2 {
+		t.Fatalf("clone shares state: h=%+v c=%+v", h, c)
+	}
+	if h.Counts[2] != 0 {
+		t.Fatal("clone's overflow observation leaked into the original")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -14,15 +15,26 @@ import (
 // metric name within each metric class) so it can be golden-file tested
 // and diffed across runs.
 func (g *Registry) WritePrometheus(w io.Writer) error {
+	return g.WritePrometheusLabeled(w, nil)
+}
+
+// WritePrometheusLabeled is WritePrometheus with a fixed label set
+// attached to every sample — the fleet exporter uses it to shard
+// per-device registries (e.g. {shard="dev42"}) next to the merged
+// totals. Labels are rendered in sorted key order; histogram buckets
+// keep `le` as the last label. A nil or empty map degrades to the
+// unlabeled format exactly.
+func (g *Registry) WritePrometheusLabeled(w io.Writer, labels map[string]string) error {
+	base := promLabels(labels, "", "")
 	for _, k := range sortedKeys(g.counters) {
 		name := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, g.counters[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, base, g.counters[k]); err != nil {
 			return err
 		}
 	}
 	for _, k := range sortedKeys(g.gauges) {
 		name := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.gauges[k])); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %s\n", name, name, base, promFloat(g.gauges[k])); err != nil {
 			return err
 		}
 	}
@@ -44,15 +56,43 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 			if i < len(h.Bounds) {
 				le = promFloat(h.Bounds[i])
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(labels, "le", le), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum), name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", name, base, promFloat(h.Sum), name, base, h.Count); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// promLabels renders a label set as `{k1="v1",k2="v2"}` with keys sorted,
+// appending the extra pair (the histogram `le`) last. Empty input renders
+// as the empty string so unlabeled output stays byte-identical to the
+// historical format.
+func promLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, k := range sortedKeys(labels) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%q", promName(k), labels[k])
+	}
+	if extraKey != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // promName maps a registry key onto the Prometheus metric-name charset

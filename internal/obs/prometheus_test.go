@@ -67,6 +67,44 @@ func TestWritePrometheusHistogramIsCumulative(t *testing.T) {
 	}
 }
 
+func TestWritePrometheusLabeled(t *testing.T) {
+	g := NewRegistry()
+	g.Add("sends", 2)
+	g.SetGauge("ratio", 0.5)
+	g.RegisterHistogram("lat", []float64{10})
+	g.Observe("lat", 3)
+
+	var b bytes.Buffer
+	if err := g.WritePrometheusLabeled(&b, map[string]string{"shard": "dev7", "app": "ghm"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`sends{app="ghm",shard="dev7"} 2`, // label keys sorted
+		`ratio{app="ghm",shard="dev7"} 0.5`,
+		`lat_bucket{app="ghm",shard="dev7",le="10"} 1`, // le stays last
+		`lat_bucket{app="ghm",shard="dev7",le="+Inf"} 1`,
+		`lat_sum{app="ghm",shard="dev7"} 3`,
+		`lat_count{app="ghm",shard="dev7"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// A nil label map must degrade to the unlabeled format byte-for-byte.
+	var plain, labeled bytes.Buffer
+	if err := g.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WritePrometheusLabeled(&labeled, nil); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != labeled.String() {
+		t.Fatal("nil labels do not reproduce the unlabeled format")
+	}
+}
+
 func TestPromNameSanitization(t *testing.T) {
 	if got := promName("undo-log.len"); got != "undo_log_len" {
 		t.Fatalf("promName = %q", got)

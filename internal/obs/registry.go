@@ -69,6 +69,32 @@ func (g *Registry) Observe(name string, v float64) {
 // Histogram returns a registered histogram (nil if absent).
 func (g *Registry) Histogram(name string) *Histogram { return g.hists[name] }
 
+// Merge folds every metric of other into g: counters add, gauges add,
+// and histograms merge bucket-wise. A histogram g does not have yet is
+// deep-copied in; merging histograms with different bucket bounds is an
+// error (the fleet gives every device identically-registered recorders,
+// so in practice bounds always line up). other is not modified. This is
+// how per-device registries fold into fleet totals.
+func (g *Registry) Merge(other *Registry) error {
+	for k, v := range other.counters {
+		g.counters[k] += v
+	}
+	for k, v := range other.gauges {
+		g.gauges[k] += v
+	}
+	for k, oh := range other.hists {
+		h, ok := g.hists[k]
+		if !ok {
+			g.hists[k] = oh.Clone()
+			continue
+		}
+		if err := h.Merge(oh); err != nil {
+			return fmt.Errorf("obs: merge histogram %q: %w", k, err)
+		}
+	}
+	return nil
+}
+
 // CounterSnapshot returns a fresh copy of all counters — the
 // vm.Runtime.Stats compatibility shim.
 func (g *Registry) CounterSnapshot() map[string]int64 {
@@ -153,6 +179,45 @@ func (h *Histogram) Observe(v float64) {
 	if v > h.Max {
 		h.Max = v
 	}
+}
+
+// Clone returns a deep copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{
+		Bounds: append([]float64(nil), h.Bounds...),
+		Counts: append([]int64(nil), h.Counts...),
+		Count:  h.Count,
+		Sum:    h.Sum,
+		Min:    h.Min,
+		Max:    h.Max,
+	}
+	return c
+}
+
+// Merge adds o's observations into h. The bucket bounds must match
+// exactly; merging histograms with different shapes loses information,
+// so it is refused rather than approximated.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.Bounds) != len(o.Bounds) {
+		return fmt.Errorf("bucket count mismatch: %d vs %d", len(h.Bounds), len(o.Bounds))
+	}
+	for i, b := range h.Bounds {
+		if b != o.Bounds[i] {
+			return fmt.Errorf("bucket bound %d mismatch: %g vs %g", i, b, o.Bounds[i])
+		}
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	return nil
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) by linear

@@ -42,6 +42,11 @@ type Spec struct {
 	TimerMs   float64 `json:"timer_ms,omitempty"`
 	WallMs    float64 `json:"wall_ms,omitempty"`
 	MaxCycles int64   `json:"max_cycles,omitempty"`
+	// Virtualize buffers radio sends in the runtime's commit machinery
+	// (vm.Config.VirtualizeSends) so committed sends transmit exactly
+	// once. Part of the spec because it changes the send log a replay
+	// must reproduce.
+	Virtualize bool `json:"virtualize,omitempty"`
 }
 
 // ResultDigest summarizes a run result for cross-checking a replay.
@@ -106,9 +111,12 @@ type capture struct{ events []obs.Event }
 
 func (c *capture) OnEvent(_ int64, ev obs.Event) { c.events = append(c.events, ev) }
 
-// buildImage resolves the spec's program (built-in app or inline source)
-// and builds it for the spec's runtime.
-func buildImage(spec Spec) (*tics.Image, string, error) {
+// BuildImage resolves the spec's program (built-in app or inline source)
+// and builds it for the spec's runtime. The returned image is immutable
+// after linking, so callers running many devices (internal/fleet) build
+// once and share it across machines; the source text is returned for
+// program hashing.
+func BuildImage(spec Spec) (*tics.Image, string, error) {
 	opts := tics.BuildOptions{Runtime: tics.RuntimeKind(spec.Runtime), SegmentBytes: spec.Segment}
 	src := spec.Source
 	if spec.App != "" {
@@ -141,7 +149,7 @@ func buildImage(spec Spec) (*tics.Image, string, error) {
 // execute runs the spec with the given power source and returns the full
 // captured stream.
 func execute(spec Spec, src power.Source, attach AttachFunc) (*Run, error) {
-	img, _, err := buildImage(spec)
+	img, _, err := BuildImage(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -157,13 +165,14 @@ func execute(spec Spec, src power.Source, attach AttachFunc) (*Run, error) {
 	cap := &capture{}
 	rec.AddSink(cap)
 	m, err := tics.NewMachine(img, tics.RunOptions{
-		Power:          src,
-		Clock:          clock,
-		Sensors:        sensors.NewBank(spec.Seed),
-		AutoCpPeriodMs: spec.TimerMs,
-		MaxWallMs:      spec.WallMs,
-		MaxCycles:      spec.MaxCycles,
-		Recorder:       rec,
+		Power:           src,
+		Clock:           clock,
+		Sensors:         sensors.NewBank(spec.Seed),
+		AutoCpPeriodMs:  spec.TimerMs,
+		MaxWallMs:       spec.WallMs,
+		MaxCycles:       spec.MaxCycles,
+		VirtualizeSends: spec.Virtualize,
+		Recorder:        rec,
 	})
 	if err != nil {
 		return nil, err
@@ -205,7 +214,7 @@ func Record(spec Spec, attach AttachFunc) (*Manifest, *Run, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	_, src, err := buildImage(spec) // re-resolve for the program hash
+	_, src, err := BuildImage(spec) // re-resolve for the program hash
 	if err != nil {
 		return nil, nil, err
 	}

@@ -113,11 +113,19 @@ type machineFault struct{ err error }
 // describes for oversized checkpoints.
 var ErrStarved = errors.New("vm: starved: no forward progress within the watchdog budget")
 
-// SendRec is one radio transmission.
+// SendRec is one radio transmission. Seq is the device's send sequence
+// number: it advances per executed Send but only commits at commit points
+// (checkpoint, task transition, end of run), so a send re-executed after a
+// rollback — or after a restart-from-main reboot under the plain runtime —
+// transmits again with the *same* sequence number. That is exactly the
+// identity a gateway needs to deduplicate the raw radio's replayed
+// packets; with VirtualizeSends every transmitted packet carries a unique
+// Seq because only committed sends ever leave the device.
 type SendRec struct {
 	Value  int32
 	TrueMs float64 // true wall-clock time of the send
 	EstMs  int64   // the device's own clock at the send
+	Seq    int64   // committed-send sequence number (see above)
 }
 
 // SensorBank provides sensor readings; implementations live in
@@ -227,6 +235,12 @@ type Machine struct {
 	SendLog         []SendRec
 	virtualizeSends bool
 	sendPending     []SendRec
+	// sendSeq numbers Send executions; sendSeqCommitted is its NV shadow,
+	// advanced only at commit points. A power failure or rollback rewinds
+	// sendSeq to the committed value, so re-executed sends reuse their
+	// sequence numbers (the dedup identity fleet gateways key on).
+	sendSeq          int64
+	sendSeqCommitted int64
 	// OutLog is the committed verification channel: Out-opcode values stay
 	// pending until a commit point (checkpoint, task transition, or end of
 	// run) and are dropped when a restore rolls their execution back, so
@@ -501,6 +515,7 @@ func (m *Machine) CommitObservables() {
 		m.SendLog = append(m.SendLog, rec)
 	}
 	m.sendPending = m.sendPending[:0]
+	m.sendSeqCommitted = m.sendSeq
 }
 
 // NoteRestore records a completed post-failure restore.
@@ -508,6 +523,7 @@ func (m *Machine) NoteRestore() {
 	m.restores++
 	m.outPending = m.outPending[:0] // the rolled-back execution never happened
 	m.sendPending = m.sendPending[:0]
+	m.sendSeq = m.sendSeqCommitted // re-executed sends reuse their seq numbers
 	m.EmitEvent(obs.EvRestore, 0, 0)
 	if m.OnRestore != nil {
 		m.OnRestore()
@@ -648,6 +664,9 @@ func (m *Machine) Run() (Result, error) {
 			m.Regs = Registers{}
 			m.CpDisable = 0
 			m.ExpiryArmed = false
+			// The working send-sequence counter is volatile; its committed
+			// shadow survives, so replayed sends reuse their numbers.
+			m.sendSeq = m.sendSeqCommitted
 			// Pending/in-flight interrupts are volatile: the paper's
 			// semantics are that an incomplete ISR never happened.
 			m.inISR = false
@@ -850,7 +869,8 @@ func (m *Machine) step() error {
 		}
 		m.Push(uint32(v))
 	case isa.Send:
-		rec := SendRec{Value: int32(m.Pop()), TrueMs: m.TrueNowMs(), EstMs: m.clock.Now()}
+		rec := SendRec{Value: int32(m.Pop()), TrueMs: m.TrueNowMs(), EstMs: m.clock.Now(), Seq: m.sendSeq}
+		m.sendSeq++
 		virt := int64(0)
 		if m.virtualizeSends {
 			virt = 1

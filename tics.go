@@ -241,6 +241,11 @@ type RunOptions struct {
 	// named ISRName (default "isr_timer"); zero disables.
 	InterruptPeriodMs float64
 	ISRName           string
+	// VirtualizeSends buffers radio sends in the runtime's commit
+	// machinery so each committed send transmits exactly once (see
+	// vm.Config.VirtualizeSends). Off by default: the raw radio
+	// duplicates replayed sends, as real hardware does.
+	VirtualizeSends bool
 	// Recorder attaches a flight recorder: structured event trace,
 	// cycle-attributed profile, and metrics. Nil disables all recording
 	// (the zero-cost default).
@@ -269,6 +274,7 @@ func NewMachine(img *Image, opts RunOptions) (*vm.Machine, error) {
 		MaxWallMs:         opts.MaxWallMs,
 		InterruptPeriodMs: opts.InterruptPeriodMs,
 		ISRName:           opts.ISRName,
+		VirtualizeSends:   opts.VirtualizeSends,
 		Recorder:          opts.Recorder,
 	})
 }
