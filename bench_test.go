@@ -12,6 +12,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	tics "repro"
 	"repro/internal/apps"
@@ -169,6 +170,60 @@ func BenchmarkFleetThroughput(b *testing.B) {
 			})
 		}
 	}
+	// Telemetry overhead pair: the same n=64 fleet with the full
+	// observability stack on (metrics collection, per-message span
+	// tracing, cycle profiles, anomaly pass) vs everything off. The
+	// acceptance bar is ≤15% on devices/sec. CI runs this with
+	// -benchtime 1x on noisy shared runners, so the two sides are
+	// measured as interleaved pairs (drift hits both equally) and the
+	// recorded number is each side's best round.
+	telemetry := map[string]map[string]float64{}
+	b.Run("n=64/telemetry", func(b *testing.B) {
+		mkCfg := func(tele bool) fleet.Config {
+			return fleet.Config{
+				Devices: 64, Workers: 4, App: "ghm",
+				Power: "harvest:40000,800", Seed: 42, WallMs: 500,
+				Link:        fleet.LinkParams{Loss: 0.05, Dup: 0.02, DelayMinMs: 2, DelayMaxMs: 20},
+				FreshnessMs: 200,
+				Collect:     tele, Trace: tele, Profile: tele,
+			}
+		}
+		// One round is ~12ms, so a generous floor is cheap and the min
+		// converges even on a noisy shared runner.
+		rounds := b.N
+		if rounds < 40 {
+			rounds = 40
+		}
+		best := map[bool]time.Duration{false: 1<<63 - 1, true: 1<<63 - 1}
+		thr := map[bool]float64{}
+		for i := 0; i < rounds; i++ {
+			for _, tele := range []bool{false, true} {
+				t0 := time.Now()
+				rep, err := fleet.Run(mkCfg(tele))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d := time.Since(t0); d < best[tele] {
+					best[tele] = d
+					thr[tele] = rep.Throughput
+				}
+			}
+		}
+		for _, tele := range []bool{false, true} {
+			name := "off"
+			if tele {
+				name = "on"
+			}
+			telemetry[name] = map[string]float64{
+				"devices_per_sec":       64 / best[tele].Seconds(),
+				"device_cycles_per_sec": thr[tele],
+			}
+		}
+		b.ReportMetric(telemetry["off"]["devices_per_sec"], "devices-off/s")
+		b.ReportMetric(telemetry["on"]["devices_per_sec"], "devices-on/s")
+		b.ReportMetric(100*(telemetry["off"]["devices_per_sec"]-telemetry["on"]["devices_per_sec"])/
+			telemetry["off"]["devices_per_sec"], "overhead-%")
+	})
 	if len(byWorkers) == 0 {
 		return // sub-benchmark filter excluded the n=64 runs
 	}
@@ -179,6 +234,13 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	}
 	for w, m := range byWorkers {
 		out[fmt.Sprintf("workers_%d", w)] = m
+	}
+	if off, on := telemetry["off"], telemetry["on"]; off != nil && on != nil {
+		out["telemetry"] = map[string]any{
+			"off":          off,
+			"on":           on,
+			"overhead_pct": 100 * (off["devices_per_sec"] - on["devices_per_sec"]) / off["devices_per_sec"],
+		}
 	}
 	if w1, ok1 := byWorkers[1]; ok1 {
 		if w4, ok4 := byWorkers[4]; ok4 {

@@ -20,7 +20,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/fleet"
 	"repro/internal/replay"
@@ -55,6 +58,17 @@ func main() {
 
 		exportDev = flag.Int("export-device", -1, "export device N as a replay manifest (needs -export)")
 		exportOut = flag.String("export", "", "manifest output file for -export-device")
+
+		serveAddr = flag.String("serve", "", "serve the fleet behind HTTP on ADDR (e.g. :8080): /, /healthz, /metrics, /fleet, /trace/{dev}/{seq}, /events")
+		loop      = flag.Bool("loop", false, "with -serve: re-run the fleet continuously (round r uses seed+r)")
+
+		traceMsg = flag.String("trace", "", "print one message's span chain as JSON, given as DEV:SEQ (e.g. -trace 3:7)")
+		spansOut = flag.String("spans", "", "write every message's span chain as JSONL to FILE")
+		perfOut  = flag.String("perfetto", "", "write the message spans as Perfetto trace JSON to FILE")
+
+		foldedOut  = flag.String("folded", "", "write the fleet-wide merged folded stacks (flame graph input) to FILE")
+		profileSum = flag.Bool("profile", false, "print the fleet-wide merged cycle profile")
+		anomalyK   = flag.Float64("anomaly-k", 0, "MAD multiplier of the anomaly outlier pass (0 = default 3.5)")
 	)
 	flag.Parse()
 
@@ -80,6 +94,9 @@ func main() {
 		FreshnessMs: *fresh,
 		Virtualize:  *virt,
 		Collect:     *metrics || *promOut != "",
+		Trace:       *traceMsg != "" || *spansOut != "" || *perfOut != "",
+		Profile:     *foldedOut != "" || *profileSum,
+		AnomalyK:    *anomalyK,
 	}
 	if flag.NArg() == 1 {
 		b, err := os.ReadFile(flag.Arg(0))
@@ -107,6 +124,10 @@ func main() {
 		return
 	}
 
+	if *serveAddr != "" {
+		fatal(fleet.Serve(*serveAddr, cfg, *loop))
+	}
+
 	rep, err := fleet.Run(cfg)
 	if err != nil {
 		fatal(err)
@@ -129,6 +150,69 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *traceMsg != "" {
+		if err := printTrace(rep, *traceMsg); err != nil {
+			fatal(err)
+		}
+	}
+	if *spansOut != "" {
+		if err := writeFile(*spansOut, rep.Telemetry.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if *perfOut != "" {
+		if err := writeFile(*perfOut, rep.Telemetry.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+	}
+	if *profileSum && rep.Profile != nil {
+		rep.Profile.WriteSummary(os.Stdout)
+	}
+	if *foldedOut != "" && rep.Profile != nil {
+		if err := writeFile(*foldedOut, rep.Profile.WriteFolded); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// printTrace resolves a DEV:SEQ query against the run's telemetry and
+// prints the message's full span chain.
+func printTrace(rep *fleet.Report, query string) error {
+	devStr, seqStr, ok := strings.Cut(query, ":")
+	if !ok {
+		return fmt.Errorf("-trace wants DEV:SEQ, got %q", query)
+	}
+	dev, err := strconv.Atoi(devStr)
+	if err != nil {
+		return fmt.Errorf("-trace device: %w", err)
+	}
+	seq, err := strconv.ParseInt(seqStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("-trace seq: %w", err)
+	}
+	tr := rep.Telemetry.Trace(dev, seq)
+	if tr == nil {
+		return fmt.Errorf("no trace for device %d seq %d", dev, seq)
+	}
+	b, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printReport(cfg fleet.Config, rep *fleet.Report) {
@@ -149,6 +233,12 @@ func printReport(cfg fleet.Config, rep *fleet.Report) {
 		rep.Gateway.Delivered, rep.Gateway.Duplicates, rep.Gateway.Expired, rep.Lost)
 	fmt.Printf("latency:      p50 %.1f ms, p99 %.1f ms end-to-end\n", rep.LatencyP50, rep.LatencyP99)
 	fmt.Printf("digest:       %.16s…\n", rep.Digest)
+	if len(rep.Anomalies) > 0 {
+		fmt.Printf("anomalies:    %d flagged\n", len(rep.Anomalies))
+		for _, a := range rep.Anomalies {
+			fmt.Printf("  dev%-5d %-18s %s\n", a.Dev, a.Kind, a.Detail)
+		}
+	}
 }
 
 // writeProm renders the merged registry — and optionally every device's
@@ -160,6 +250,9 @@ func writeProm(rep *fleet.Report, path string, shards bool) error {
 	}
 	defer f.Close()
 	if err := rep.Metrics.WritePrometheus(f); err != nil {
+		return err
+	}
+	if err := fleet.WriteAnomaliesProm(f, rep.Anomalies); err != nil {
 		return err
 	}
 	if shards {

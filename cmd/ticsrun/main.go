@@ -299,8 +299,8 @@ func printResult(w io.Writer, res vm.Result, quiet, seq bool) {
 		fmt.Fprintf(w, "radio:        %d packets, first %v\n", n, res.SendLog[0].Value)
 		if seq {
 			for _, rec := range res.SendLog {
-				fmt.Fprintf(w, "send          seq=%d value=%d t=%.3fms est=%dms\n",
-					rec.Seq, rec.Value, rec.TrueMs, rec.EstMs)
+				fmt.Fprintf(w, "send          seq=%d value=%d t=%.3fms est=%dms commit_lat=%.3fms\n",
+					rec.Seq, rec.Value, rec.TrueMs, rec.EstMs, rec.CommitLatencyMs())
 			}
 		}
 	}

@@ -86,6 +86,14 @@ const linkSalt = 0xC2B2AE3D27D4EB4F
 // frames that reach the gateway, in transmission order. Deterministic:
 // the same (seed, log) always yields the same arrivals.
 func Transmit(dev int, seed uint64, p LinkParams, log []vm.SendRec) ([]Arrival, LinkStats) {
+	return transmit(dev, seed, p, log, nil)
+}
+
+// transmit is Transmit with an optional span collector. The tracer only
+// observes — it draws nothing from the RNG — so a traced run's channel
+// behaviour (and therefore the gateway digest) is byte-identical to an
+// untraced one.
+func transmit(dev int, seed uint64, p LinkParams, log []vm.SendRec, tel *Telemetry) ([]Arrival, LinkStats) {
 	rng := linkRNG{s: seed ^ linkSalt}
 	backoff := p.BackoffMs
 	if backoff <= 0 {
@@ -101,12 +109,14 @@ func Transmit(dev int, seed uint64, p LinkParams, log []vm.SendRec) ([]Arrival, 
 	var st LinkStats
 	for _, rec := range log {
 		st.Packets++
+		emit := tel.onEmit(dev, rec)
 		delivered := false
 		for attempt := 0; attempt <= p.Retransmits; attempt++ {
 			st.Frames++
 			txMs := rec.TrueMs + float64(attempt)*backoff
 			if rng.float() < p.Loss {
 				st.FramesLost++
+				tel.onAttempt(dev, rec.Seq, AttemptSpan{Emit: emit, Attempt: attempt, TxMs: txMs, Lost: true})
 				continue // next attempt, if the link layer has one
 			}
 			a := Arrival{
@@ -116,18 +126,21 @@ func Transmit(dev int, seed uint64, p LinkParams, log []vm.SendRec) ([]Arrival, 
 			}
 			out = append(out, a)
 			delivered = true
+			idx := tel.onAttempt(dev, rec.Seq, AttemptSpan{Emit: emit, Attempt: attempt, TxMs: txMs, ArriveMs: a.ArriveMs})
 			if p.Dup > 0 && rng.float() < p.Dup {
 				echo := a
 				echo.ArriveMs += delay()
 				echo.Echo = true
 				out = append(out, echo)
 				st.Echoes++
+				tel.onAttempt(dev, rec.Seq, AttemptSpan{Emit: emit, Attempt: attempt, TxMs: txMs, ArriveMs: echo.ArriveMs, Echo: true})
 			}
 			// The gateway ACKs the frame; if the ACK is lost the device
 			// cannot tell its frame arrived and retransmits it — the
 			// classic duplicate-manufacturing path of ARQ links.
 			if attempt < p.Retransmits && rng.float() < p.Loss {
 				st.AcksLost++
+				tel.markAckLost(dev, rec.Seq, idx)
 				continue
 			}
 			break

@@ -62,6 +62,21 @@ type Config struct {
 	// per-device metric registries into Report.Metrics via
 	// obs.Registry.Merge.
 	Collect bool
+
+	// Trace enables end-to-end message telemetry: a span chain per
+	// (device, committed send seq) — emit, every channel attempt, gateway
+	// verdict — collected in the deterministic post-pass and exposed as
+	// Report.Telemetry. Independent of Collect; costs nothing per device.
+	Trace bool
+
+	// Profile turns on each device's cycle profiler and merges the
+	// per-device folded stacks into one fleet-wide flame graph
+	// (Report.Profile). Implies attaching recorders like Collect does.
+	Profile bool
+
+	// AnomalyK is the MAD multiplier of the outlier pass (0 = the
+	// DefaultAnomalyK modified-z-score cut).
+	AnomalyK float64
 }
 
 // DeviceSeed derives device i's seed from the fleet seed with a
@@ -151,9 +166,20 @@ type Report struct {
 	LatencyP99  float64 `json:"latency_p99_ms"`
 	Digest      string  `json:"digest"` // gateway log digest (determinism witness)
 
+	// Anomalies is the deterministic outlier pass over per-device
+	// outcomes: stragglers, livelock suspects, freshness hotspots.
+	Anomalies []Anomaly `json:"anomalies,omitempty"`
+
 	// Metrics is the fold of every device's registry (Collect only),
 	// plus fleet_* rollup counters.
 	Metrics *obs.Registry `json:"-"`
+
+	// Telemetry holds the per-message span chains (Trace only).
+	Telemetry *Telemetry `json:"-"`
+
+	// Profile is the fleet-wide merge of every device's cycle profile
+	// (Profile only) — one flame graph over the whole deployment.
+	Profile *obs.Profile `json:"-"`
 
 	Outcomes   []DeviceOutcome `json:"-"`
 	gw         *Gateway
@@ -196,12 +222,16 @@ func Run(cfg Config) (*Report, error) {
 
 	outcomes := make([]DeviceOutcome, n)
 	var registries []*obs.Registry
-	if cfg.Collect {
+	if cfg.Collect || cfg.Profile {
 		registries = make([]*obs.Registry, n)
+	}
+	var profiles []obs.Profile
+	if cfg.Profile {
+		profiles = make([]obs.Profile, n)
 	}
 	start := time.Now()
 	ParallelFor(n, workers, func(i int) {
-		outcomes[i] = runDevice(img, cfg, i, registries)
+		outcomes[i] = runDevice(img, cfg, i, registries, profiles)
 	})
 	elapsed := time.Since(start).Seconds()
 
@@ -234,9 +264,14 @@ func Run(cfg Config) (*Report, error) {
 		rep.Throughput = float64(rep.TotalCycles) / elapsed
 	}
 
-	// Deterministic post-pass: channel and gateway run single-threaded
-	// over per-device logs in device order, so the digest cannot depend
-	// on how the pool scheduled the device phase.
+	// Deterministic post-pass: channel, gateway and telemetry run
+	// single-threaded over per-device logs in device order, so neither
+	// the digest nor any span chain can depend on how the pool scheduled
+	// the device phase.
+	var tel *Telemetry
+	if cfg.Trace {
+		tel = NewTelemetry(n, cfg.FreshnessMs)
+	}
 	gw := NewGateway(cfg.FreshnessMs)
 	var arrivals []Arrival
 	for i := range outcomes {
@@ -247,22 +282,25 @@ func Run(cfg Config) (*Report, error) {
 			seqs[rec.Seq] = struct{}{}
 		}
 		rep.UniqueSends += int64(len(seqs))
-		devArr, st := Transmit(i, DeviceSeed(cfg.Seed, i), cfg.Link, log)
+		devArr, st := transmit(i, DeviceSeed(cfg.Seed, i), cfg.Link, log, tel)
 		rep.Link.add(st)
 		arrivals = append(arrivals, devArr...)
 	}
 	SortArrivals(arrivals)
 	for _, a := range arrivals {
-		gw.Accept(a)
+		tel.onVerdict(a, gw.Accept(a))
 	}
+	tel.finalize()
+	rep.Telemetry = tel
 	rep.gw = gw
 	rep.Gateway = gw.Stats()
 	rep.Lost = rep.UniqueSends - int64(gw.Unique())
 	rep.LatencyP50 = gw.LatencyQuantile(0.50)
 	rep.LatencyP99 = gw.LatencyQuantile(0.99)
 	rep.Digest = gw.Digest()
+	rep.Anomalies = DetectAnomalies(rep, cfg.AnomalyK)
 
-	if cfg.Collect {
+	if cfg.Collect || cfg.Profile {
 		merged := obs.NewRegistry()
 		for i, reg := range registries {
 			if reg == nil {
@@ -279,7 +317,23 @@ func Run(cfg Config) (*Report, error) {
 		merged.Add("fleet_gateway_duplicates", rep.Gateway.Duplicates)
 		merged.Add("fleet_gateway_expired", rep.Gateway.Expired)
 		merged.Add("fleet_packets_lost", rep.Lost)
+		// The gateway's latency histogram lands in the rollup under the
+		// same bounds it was observed with, so a Prometheus
+		// histogram_quantile over the exported buckets agrees with
+		// Report.LatencyP50/P99 (both are obs.Histogram.Quantile).
+		if err := merged.RegisterHistogram("fleet_gateway_latency_ms", LatencyBounds).
+			Merge(gw.LatencyHistogram()); err != nil {
+			return nil, fmt.Errorf("fleet: latency rollup: %w", err)
+		}
+		for kind, c := range anomalyCounts(rep.Anomalies) {
+			merged.Add("fleet_anomaly_"+kind, c)
+		}
+		merged.Add("fleet_anomalies", int64(len(rep.Anomalies)))
 		rep.Metrics = merged
+	}
+	if cfg.Profile {
+		p := obs.MergeProfiles(profiles...)
+		rep.Profile = &p
 	}
 	return rep, nil
 }
@@ -289,7 +343,7 @@ func Run(cfg Config) (*Report, error) {
 // bank and clock, and (when collecting) its own recorder. Nothing here
 // may touch state shared with another device — the -race fleet test
 // enforces it.
-func runDevice(img *tics.Image, cfg Config, dev int, registries []*obs.Registry) DeviceOutcome {
+func runDevice(img *tics.Image, cfg Config, dev int, registries []*obs.Registry, profiles []obs.Profile) DeviceOutcome {
 	seed := DeviceSeed(cfg.Seed, dev)
 	out := DeviceOutcome{ID: dev, Seed: seed}
 	src, err := replay.ParsePower(cfg.power(), seed)
@@ -304,9 +358,10 @@ func runDevice(img *tics.Image, cfg Config, dev int, registries []*obs.Registry)
 	}
 	var rec *obs.Recorder
 	if registries != nil {
-		// A small ring: fleet aggregation wants the metrics, not the
-		// event history (export a device to replay for that).
-		rec = obs.NewRecorder(obs.Options{RingCap: 64})
+		// A small ring: fleet aggregation wants the metrics (and, with
+		// Profile, the folded stacks), not the event history (export a
+		// device to replay for that).
+		rec = obs.NewRecorder(obs.Options{RingCap: 64, Profile: profiles != nil})
 		registries[dev] = rec.Metrics()
 	}
 	m, err := tics.NewMachine(img, tics.RunOptions{
@@ -325,6 +380,12 @@ func runDevice(img *tics.Image, cfg Config, dev int, registries []*obs.Registry)
 	}
 	res, runErr := m.Run()
 	out.Res = res
+	if profiles != nil {
+		// Run's trailing CommitObservables flushed pending attribution,
+		// so the snapshot partitions the device's cycles exactly. Each
+		// device writes only its own slot — pool convention.
+		profiles[dev] = rec.Profile()
+	}
 	// A program fault is a device outcome, not a fleet error; it is
 	// already folded into Res.Fault. Only setup errors abort the fleet.
 	_ = runErr

@@ -4,7 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"sort"
+
+	"repro/internal/obs"
 )
 
 // Gateway is the fleet's sink: it deduplicates arrivals by (device,
@@ -21,11 +22,36 @@ type Gateway struct {
 	// time-consistency hazard pushed out to the network. Zero disables.
 	FreshnessMs float64
 
-	seen  map[gwKey]struct{}
-	log   []Delivery
-	lat   []float64
-	stats GatewayStats
+	seen   map[gwKey]struct{}
+	log    []Delivery
+	lat    *obs.Histogram
+	stats  GatewayStats
+	perDev map[int]*GatewayStats
 }
+
+// Verdict is what the gateway decided about one arrival.
+type Verdict uint8
+
+const (
+	VerdictDelivered Verdict = iota // first arrival, within the freshness deadline
+	VerdictDuplicate                // repeat (device, seq); dropped
+	VerdictExpired                  // first arrival, but past the freshness deadline
+)
+
+var verdictNames = [...]string{"delivered", "duplicate", "expired"}
+
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return "?"
+}
+
+// LatencyBounds are the fixed bucket bounds (ms) of the gateway's
+// end-to-end latency histogram. Shared with the fleet metrics rollup so
+// per-run and fleet-level latency estimates come from the same
+// obs.Histogram.Quantile math and cannot drift.
+var LatencyBounds = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
 
 type gwKey struct {
 	dev int
@@ -52,30 +78,55 @@ type GatewayStats struct {
 // NewGateway builds an empty gateway with the given freshness deadline
 // (0 = no deadline).
 func NewGateway(freshnessMs float64) *Gateway {
-	return &Gateway{FreshnessMs: freshnessMs, seen: make(map[gwKey]struct{})}
+	return &Gateway{
+		FreshnessMs: freshnessMs,
+		seen:        make(map[gwKey]struct{}),
+		lat:         obs.NewHistogram(LatencyBounds),
+		perDev:      make(map[int]*GatewayStats),
+	}
 }
 
-// Accept processes one arrival. Call in gateway observation order (see
+// Accept processes one arrival and returns the verdict — the last hop of
+// the message's span chain. Call in gateway observation order (see
 // SortArrivals) for deterministic logs.
-func (g *Gateway) Accept(a Arrival) {
+func (g *Gateway) Accept(a Arrival) Verdict {
 	g.stats.Arrivals++
+	dst := g.perDev[a.Dev]
+	if dst == nil {
+		dst = &GatewayStats{}
+		g.perDev[a.Dev] = dst
+	}
+	dst.Arrivals++
 	k := gwKey{a.Dev, a.Seq}
 	if _, dup := g.seen[k]; dup {
 		g.stats.Duplicates++
-		return
+		dst.Duplicates++
+		return VerdictDuplicate
 	}
 	g.seen[k] = struct{}{}
 	if g.FreshnessMs > 0 && a.ArriveMs-a.SentMs > g.FreshnessMs {
 		g.stats.Expired++
-		return
+		dst.Expired++
+		return VerdictExpired
 	}
 	g.stats.Delivered++
+	dst.Delivered++
 	g.log = append(g.log, Delivery{Dev: a.Dev, Seq: a.Seq, Value: a.Value, SentMs: a.SentMs, ArriveMs: a.ArriveMs})
-	g.lat = append(g.lat, a.ArriveMs-a.SentMs)
+	g.lat.Observe(a.ArriveMs - a.SentMs)
+	return VerdictDelivered
 }
 
 // Stats returns the gateway counters.
 func (g *Gateway) Stats() GatewayStats { return g.stats }
+
+// DeviceStats returns the gateway counters attributed to one device —
+// the per-device view the anomaly pass (freshness-loss hotspots) reads.
+func (g *Gateway) DeviceStats(dev int) GatewayStats {
+	if st := g.perDev[dev]; st != nil {
+		return *st
+	}
+	return GatewayStats{}
+}
 
 // Log returns the accepted deliveries in observation order.
 func (g *Gateway) Log() []Delivery { return g.log }
@@ -108,22 +159,13 @@ func (g *Gateway) Digest() string {
 }
 
 // LatencyQuantile returns the q-quantile (0..1) of end-to-end delivery
-// latency in ms, exact over the accepted deliveries (0 when none).
-func (g *Gateway) LatencyQuantile(q float64) float64 {
-	if len(g.lat) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), g.lat...)
-	sort.Float64s(s)
-	if q <= 0 {
-		return s[0]
-	}
-	if q >= 1 {
-		return s[len(s)-1]
-	}
-	i := int(q * float64(len(s)))
-	if i >= len(s) {
-		i = len(s) - 1
-	}
-	return s[i]
-}
+// latency in ms (0 when none). It delegates to obs.Histogram.Quantile
+// over LatencyBounds, the same estimator every other latency surface in
+// the repo uses — so a fleet report, a merged metrics dump, and a
+// Prometheus histogram_quantile over the exported buckets all agree.
+func (g *Gateway) LatencyQuantile(q float64) float64 { return g.lat.Quantile(q) }
+
+// LatencyHistogram exposes the underlying latency histogram so the fleet
+// rollup can merge it into the fleet-wide registry (bounds always match:
+// both sides use LatencyBounds).
+func (g *Gateway) LatencyHistogram() *obs.Histogram { return g.lat }

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -186,5 +187,52 @@ func TestTransmitDeterministic(t *testing.T) {
 	a3, _ := Transmit(5, 100, p, log)
 	if reflect.DeepEqual(a1, a3) {
 		t.Fatal("different seeds produced identical channel behaviour")
+	}
+}
+
+// TestLatencyQuantileUnified pins the gateway's quantile estimate to the
+// shared obs.Histogram estimator on a known sample. The gateway used to
+// keep its own sorted-slice quantile; both paths now answer through
+// obs.Histogram.Quantile, so the same question asked of the fleet report
+// and of a scraped histogram gets the same number.
+func TestLatencyQuantileUnified(t *testing.T) {
+	gw := NewGateway(0)
+	ref := obs.NewHistogram(LatencyBounds)
+	for i := 1; i <= 100; i++ {
+		lat := float64(i)
+		if v := gw.Accept(Arrival{Dev: 0, Seq: int64(i), SentMs: 0, ArriveMs: lat}); v != VerdictDelivered {
+			t.Fatalf("arrival %d: verdict %v", i, v)
+		}
+		ref.Observe(lat)
+	}
+	// Uniform 1..100 ms lands exactly on the interpolation grid of
+	// LatencyBounds, so the expected values are exact, not approximate.
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 50}, {0.9, 90}, {0.99, 99}, {1, 100},
+	} {
+		if got := gw.LatencyQuantile(c.q); got != c.want {
+			t.Errorf("gateway q%.2f = %v, want %v", c.q, got, c.want)
+		}
+		if got, want := gw.LatencyQuantile(c.q), ref.Quantile(c.q); got != want {
+			t.Errorf("q%.2f: gateway %v != histogram %v", c.q, got, want)
+		}
+	}
+	if gw.LatencyHistogram().Count != 100 || gw.LatencyHistogram().Sum != 5050 {
+		t.Fatalf("latency histogram miscounted: %+v", gw.LatencyHistogram())
+	}
+}
+
+// TestVerdictString keeps the verdict labels stable — they name
+// Prometheus series and span outcomes.
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		VerdictDelivered: "delivered",
+		VerdictDuplicate: "duplicate",
+		VerdictExpired:   "expired",
+		Verdict(99):      "?",
+	} {
+		if v.String() != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", v, v.String(), want)
+		}
 	}
 }

@@ -1,0 +1,164 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func serveTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := lossyCfg(2)
+	cfg.Trace = false // NewServer must force it back on
+	s := NewServer(cfg, false)
+	if err := s.RunFleet(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	s, ts := serveTestServer(t)
+	rep := s.Report()
+	if rep == nil || rep.Telemetry == nil || rep.Metrics == nil {
+		t.Fatal("server round did not publish telemetry + metrics")
+	}
+
+	if code, body := get(t, ts.URL+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	code, body := get(t, ts.URL+"/fleet")
+	if code != 200 {
+		t.Fatalf("/fleet: %d", code)
+	}
+	var fleetDoc struct {
+		Summary struct {
+			Run       int64  `json:"run"`
+			Devices   int    `json:"devices"`
+			Digest    string `json:"digest"`
+			Anomalies int    `json:"anomalies"`
+		} `json:"summary"`
+		Report json.RawMessage `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(body), &fleetDoc); err != nil {
+		t.Fatalf("/fleet is not JSON: %v", err)
+	}
+	if fleetDoc.Summary.Run != 1 || fleetDoc.Summary.Devices != rep.Devices ||
+		fleetDoc.Summary.Digest != rep.Digest || len(fleetDoc.Report) == 0 {
+		t.Fatalf("/fleet summary wrong: %+v", fleetDoc.Summary)
+	}
+
+	code, body = get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		"fleet_serve_runs 1",
+		"fleet_gateway_latency_ms_bucket",
+		"trace_events_dropped",
+		"fleet_devices",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// A known trace round-trips through /trace/{device}/{seq}.
+	want := rep.Telemetry.Traces()[0]
+	code, body = get(t, fmt.Sprintf("%s/trace/%d/%d", ts.URL, want.Dev, want.Seq))
+	if code != 200 {
+		t.Fatalf("/trace: %d %s", code, body)
+	}
+	var got MessageTrace
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Dev != want.Dev || got.Seq != want.Seq ||
+		len(got.Attempts) != len(want.Attempts) || got.Verdict.Outcome != want.Verdict.Outcome {
+		t.Fatalf("trace round-trip mangled: got %+v want %+v", got, want)
+	}
+
+	if code, _ := get(t, ts.URL+"/trace/0/999999"); code != 404 {
+		t.Fatalf("unknown seq: %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/trace/zebra/0"); code != 400 {
+		t.Fatalf("bad device: %d, want 400", code)
+	}
+	if code, body := get(t, ts.URL+"/"); code != 200 || !strings.Contains(body, "ticsfleet") {
+		t.Fatalf("dashboard: %d", code)
+	}
+}
+
+func TestServerBeforeFirstRound(t *testing.T) {
+	s := NewServer(lossyCfg(1), false)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _ := get(t, ts.URL+"/healthz"); code != 200 {
+		t.Fatalf("/healthz before first round: %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/fleet"); code != 503 {
+		t.Fatalf("/fleet before first round: %d, want 503", code)
+	}
+	if code, _ := get(t, ts.URL+"/trace/0/0"); code != 503 {
+		t.Fatalf("/trace before first round: %d, want 503", code)
+	}
+	// /metrics stays scrapable — it just has nothing fleet-shaped yet.
+	if code, body := get(t, ts.URL+"/metrics"); code != 200 || !strings.Contains(body, "fleet_serve_runs 0") {
+		t.Fatalf("/metrics before first round: %d %q", code, body)
+	}
+}
+
+func TestServerEventsSSE(t *testing.T) {
+	_, ts := serveTestServer(t)
+
+	// On connect the stream replays the latest round summary.
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	line, err := bufio.NewReader(resp.Body).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "data: ") {
+		t.Fatalf("first SSE line %q", line)
+	}
+	var sum struct {
+		Run    int64  `json:"run"`
+		Digest string `json:"digest"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Run != 1 || sum.Digest == "" {
+		t.Fatalf("SSE summary %+v", sum)
+	}
+}

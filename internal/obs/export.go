@@ -90,9 +90,12 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// traceEvent is one Chrome trace_event record; see the Trace Event Format
-// spec (the format Perfetto and chrome://tracing open directly).
-type traceEvent struct {
+// TraceEvent is one Chrome trace_event record; see the Trace Event Format
+// spec (the format Perfetto and chrome://tracing open directly). It is
+// exported so other layers (the fleet's message-span telemetry) can build
+// their own tracks and serialize them through WriteTraceEvents, keeping a
+// single wire format for everything Perfetto-shaped.
+type TraceEvent struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat"`
 	Phase string         `json:"ph"`
@@ -105,17 +108,29 @@ type traceEvent struct {
 }
 
 type chromeTrace struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
+	TraceEvents     []TraceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents serializes any trace_event list as a Chrome/Perfetto
+// JSON document — the shared back end of WriteChromeTrace and the fleet's
+// per-message span exporter.
+func WriteTraceEvents(w io.Writer, evs []TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"}); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // ChromeTraceEvents converts the retained events into trace_event records
 // on the true wall-clock timeline (1 cycle = 1 µs of on-time; powered-off
 // gaps appear as idle stretches). Checkpoint begin/commit pairs and ISR
 // enter/exit pairs become duration events; everything else is an instant.
-func (r *Recorder) ChromeTraceEvents() []traceEvent {
+func (r *Recorder) ChromeTraceEvents() []TraceEvent {
 	const pid, tid = 1, 1
-	evs := []traceEvent{
+	evs := []TraceEvent{
 		{Name: "process_name", Phase: "M", PID: pid, TID: tid, Cat: "__metadata",
 			Args: map[string]any{"name": "intermittent-machine"}},
 		{Name: "thread_name", Phase: "M", PID: pid, TID: tid, Cat: "__metadata",
@@ -129,7 +144,7 @@ func (r *Recorder) ChromeTraceEvents() []traceEvent {
 		case EvCheckpointBegin:
 			cpBegin = &ev
 		case EvCheckpointCommit:
-			te := traceEvent{Name: "checkpoint", Cat: "runtime", Phase: "X", TsUs: ts, PID: pid, TID: tid,
+			te := TraceEvent{Name: "checkpoint", Cat: "runtime", Phase: "X", TsUs: ts, PID: pid, TID: tid,
 				Args: map[string]any{"kind": ev.Arg0, "latency_cycles": ev.Arg1}}
 			if cpBegin != nil {
 				te.TsUs = cpBegin.TrueMs * 1000
@@ -141,9 +156,9 @@ func (r *Recorder) ChromeTraceEvents() []traceEvent {
 			}
 			evs = append(evs, te)
 		case EvISREnter:
-			evs = append(evs, traceEvent{Name: "isr", Cat: "interrupt", Phase: "B", TsUs: ts, PID: pid, TID: tid})
+			evs = append(evs, TraceEvent{Name: "isr", Cat: "interrupt", Phase: "B", TsUs: ts, PID: pid, TID: tid})
 		case EvISRExit:
-			evs = append(evs, traceEvent{Name: "isr", Cat: "interrupt", Phase: "E", TsUs: ts, PID: pid, TID: tid})
+			evs = append(evs, TraceEvent{Name: "isr", Cat: "interrupt", Phase: "E", TsUs: ts, PID: pid, TID: tid})
 		default:
 			name, cat, scope := ev.Kind.String(), "machine", "t"
 			switch ev.Kind {
@@ -154,7 +169,7 @@ func (r *Recorder) ChromeTraceEvents() []traceEvent {
 			case EvSend, EvExpiry:
 				cat = "io"
 			}
-			evs = append(evs, traceEvent{Name: name, Cat: cat, Phase: "i", TsUs: ts, PID: pid, TID: tid, Scope: scope,
+			evs = append(evs, TraceEvent{Name: name, Cat: cat, Phase: "i", TsUs: ts, PID: pid, TID: tid, Scope: scope,
 				Args: map[string]any{"cycles": ev.Cycles, "device_ms": ev.DeviceMs, "arg0": ev.Arg0, "arg1": ev.Arg1}})
 		}
 	}
@@ -165,12 +180,7 @@ func (r *Recorder) ChromeTraceEvents() []traceEvent {
 // trace_event JSON; the output opens directly in chrome://tracing or
 // ui.perfetto.dev.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(chromeTrace{TraceEvents: r.ChromeTraceEvents(), DisplayTimeUnit: "ms"}); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return WriteTraceEvents(w, r.ChromeTraceEvents())
 }
 
 // WriteFolded writes the profile's folded stacks ("(device);main;leaf 42"

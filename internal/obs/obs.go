@@ -173,15 +173,34 @@ type Recorder struct {
 	pending  [catCount]int64 // attributed since the last commit point
 	byCat    [catCount]int64 // committed attribution
 
-	stack   []int // shadow call stack of function indices
-	foldKey string
-	byFunc  map[int]int64
-	folded  map[string]int64
+	// All call-stack attribution lives in a trie of interned stack
+	// signatures: curNode identifies the live signature (it IS the
+	// shadow call stack — depth equals stack depth), foldCount[i]
+	// accumulates self-cycles at node i, and children are linked via
+	// first-child/next-sibling so descent is a short pointer walk with
+	// no hashing. No string is built and no map is touched until
+	// Profile() renders the report; per-function totals are recovered
+	// there by summing nodes that share a function. OnSpend, the
+	// hottest path in a profiled run, is a pair of slice-indexed adds.
+	foldNodes []foldNode
+	foldCount []int64
+	curNode   int32
 
 	cpBeginCycles int64
 	cpBeginMs     float64
 	cpOpen        bool
 	lastFailAt    int64
+
+	// Cached counter cells for the per-event-kind increments: Emit runs
+	// once per event (undo appends fire per store instruction), so the
+	// string-keyed registry lookups are hoisted to construction time.
+	kindCtr     [evKindCount]*int64
+	coldBoots   *int64
+	undoRolled  *int64
+	dropCtr     *int64
+	cpLatHist   *Histogram
+	cpSizeHist  *Histogram
+	failGapHist *Histogram
 }
 
 // NewRecorder builds an enabled recorder.
@@ -193,19 +212,37 @@ func NewRecorder(opts Options) *Recorder {
 		opts.Keep = MaskAll
 	}
 	r := &Recorder{
-		ring:     make([]Event, opts.RingCap),
-		keep:     opts.Keep,
-		reg:      NewRegistry(),
-		profile:  opts.Profile,
-		catStack: []Category{CatApp},
-		byFunc:   map[int]int64{},
-		folded:   map[string]int64{},
+		ring:      make([]Event, opts.RingCap),
+		keep:      opts.Keep,
+		reg:       NewRegistry(),
+		profile:   opts.Profile,
+		catStack:  []Category{CatApp},
+		foldNodes: []foldNode{{parent: -1, fn: -1, firstKid: -1, nextSib: -1}}, // node 0: the "(device)" root
+		foldCount: []int64{0},
 	}
-	r.reg.RegisterHistogram("checkpoint_latency_cycles", []float64{64, 128, 256, 512, 1024, 2048, 4096, 8192})
-	r.reg.RegisterHistogram("checkpoint_size_bytes", []float64{16, 32, 64, 128, 256, 512, 1024, 2048})
-	r.reg.RegisterHistogram("cycles_between_failures", []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7})
+	r.cpLatHist = r.reg.RegisterHistogram("checkpoint_latency_cycles", []float64{64, 128, 256, 512, 1024, 2048, 4096, 8192})
+	r.cpSizeHist = r.reg.RegisterHistogram("checkpoint_size_bytes", []float64{16, 32, 64, 128, 256, 512, 1024, 2048})
+	r.failGapHist = r.reg.RegisterHistogram("cycles_between_failures", []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7})
 	r.reg.RegisterHistogram("undo_len_per_epoch", []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256})
-	r.resetFold()
+	r.reg.SetGauge("trace_ring_cap", float64(opts.RingCap))
+	kindCounters := [evKindCount]string{
+		EvBoot: "boots", EvPowerFail: "power_failures",
+		EvCheckpointCommit: "checkpoint_commits", EvRestore: "restores",
+		EvUndoAppend: "undo_appends", EvUndoRollback: "undo_rollbacks",
+		EvStackGrow: "stack_grows", EvStackShrink: "stack_shrinks",
+		EvISREnter: "isr_entries", EvSend: "sends", EvExpiry: "expiry_traps",
+		EvTaskCommit: "task_commits",
+	}
+	for kind, name := range kindCounters {
+		if name != "" {
+			r.kindCtr[kind] = r.reg.CounterRef(name)
+		}
+	}
+	r.coldBoots = r.reg.CounterRef("cold_boots")
+	r.undoRolled = r.reg.CounterRef("undo_entries_rolled_back")
+	// Registered at zero so the series is always scrapable: an absent
+	// drop counter is indistinguishable from a missing export.
+	r.dropCtr = r.reg.CounterRef("trace_events_dropped")
 	return r
 }
 
@@ -225,8 +262,14 @@ func (r *Recorder) Seq() int64 { return r.seq }
 // Metrics returns the recorder's registry.
 func (r *Recorder) Metrics() *Registry { return r.reg }
 
-// Dropped returns how many events the ring overwrote.
+// Dropped returns how many events the ring overwrote. The same count is
+// exported live as the registry counter "trace_events_dropped" so trace
+// loss is visible wherever the metrics go (Prometheus, fleet merges).
 func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// RingCap returns the event ring's capacity — exported next to the drop
+// counter so a scrape can tell "ring too small" from "quiet run".
+func (r *Recorder) RingCap() int { return len(r.ring) }
 
 // Events returns the retained events in chronological order.
 func (r *Recorder) Events() []Event {
@@ -259,47 +302,30 @@ func (r *Recorder) CountKind(k EventKind) int64 {
 // Emit records one event, updating the derived metrics first (metrics are
 // exact even when the ring drops the event itself).
 func (r *Recorder) Emit(ev Event) {
+	if c := r.kindCtr[ev.Kind]; c != nil {
+		*c++
+	}
 	switch ev.Kind {
 	case EvBoot:
-		r.reg.Inc("boots")
 		if ev.Arg0 == 1 {
-			r.reg.Inc("cold_boots")
+			*r.coldBoots++
 		}
 	case EvPowerFail:
-		r.reg.Inc("power_failures")
-		r.reg.Observe("cycles_between_failures", float64(ev.Cycles-r.lastFailAt))
+		r.failGapHist.Observe(float64(ev.Cycles - r.lastFailAt))
 		r.lastFailAt = ev.Cycles
 	case EvCheckpointBegin:
 		r.cpBeginCycles = ev.Cycles
 		r.cpBeginMs = ev.TrueMs
 		r.cpOpen = true
-		r.reg.Observe("checkpoint_size_bytes", float64(ev.Arg1))
+		r.cpSizeHist.Observe(float64(ev.Arg1))
 	case EvCheckpointCommit:
-		r.reg.Inc("checkpoint_commits")
 		if r.cpOpen {
 			ev.Arg1 = ev.Cycles - r.cpBeginCycles
-			r.reg.Observe("checkpoint_latency_cycles", float64(ev.Arg1))
+			r.cpLatHist.Observe(float64(ev.Arg1))
 			r.cpOpen = false
 		}
-	case EvRestore:
-		r.reg.Inc("restores")
-	case EvUndoAppend:
-		r.reg.Inc("undo_appends")
 	case EvUndoRollback:
-		r.reg.Inc("undo_rollbacks")
-		r.reg.Add("undo_entries_rolled_back", ev.Arg0)
-	case EvStackGrow:
-		r.reg.Inc("stack_grows")
-	case EvStackShrink:
-		r.reg.Inc("stack_shrinks")
-	case EvISREnter:
-		r.reg.Inc("isr_entries")
-	case EvSend:
-		r.reg.Inc("sends")
-	case EvExpiry:
-		r.reg.Inc("expiry_traps")
-	case EvTaskCommit:
-		r.reg.Inc("task_commits")
+		*r.undoRolled += ev.Arg0
 	}
 	seq := r.seq
 	r.seq++
@@ -310,7 +336,11 @@ func (r *Recorder) Emit(ev Event) {
 		return
 	}
 	if r.n == len(r.ring) {
+		// Ring overflow: the oldest retained event is overwritten. Count
+		// the loss in the registry too, so it surfaces in /metrics and
+		// fleet rollups instead of only via Dropped().
 		r.dropped++
+		*r.dropCtr++
 	} else {
 		r.n++
 	}
@@ -338,18 +368,46 @@ func (r *Recorder) PopCategory() {
 }
 
 // OnSpend attributes c consumed cycles to the current category and the
-// current shadow-stack position. Called by the machine for every Spend.
+// current shadow-stack signature. Called by the machine for every Spend —
+// the profiler's hottest path — so it is exactly two slice-indexed adds;
+// everything map- or string-shaped is deferred to Profile().
 func (r *Recorder) OnSpend(c int64) {
 	if !r.profile {
 		return
 	}
 	r.pending[r.catStack[len(r.catStack)-1]] += c
-	r.folded[r.foldKey] += c
-	fn := -1
-	if len(r.stack) > 0 {
-		fn = r.stack[len(r.stack)-1]
+	r.foldCount[r.curNode] += c
+}
+
+// foldNode is one interned shadow-stack signature: its parent signature
+// plus one more function. Children hang off the parent as a
+// first-child/next-sibling list — call sites fan out to a handful of
+// callees, so the linear walk in foldDescend beats hashing.
+type foldNode struct {
+	parent   int32
+	fn       int32
+	firstKid int32
+	nextSib  int32
+}
+
+// foldDescend moves curNode to the child signature for fn, interning it
+// on first visit.
+func (r *Recorder) foldDescend(fn int) {
+	f := int32(fn)
+	for id := r.foldNodes[r.curNode].firstKid; id >= 0; id = r.foldNodes[id].nextSib {
+		if r.foldNodes[id].fn == f {
+			r.curNode = id
+			return
+		}
 	}
-	r.byFunc[fn] += c
+	id := int32(len(r.foldNodes))
+	r.foldNodes = append(r.foldNodes, foldNode{
+		parent: r.curNode, fn: f,
+		firstKid: -1, nextSib: r.foldNodes[r.curNode].firstKid,
+	})
+	r.foldCount = append(r.foldCount, 0)
+	r.foldNodes[r.curNode].firstKid = id
+	r.curNode = id
 }
 
 // OnCommit flushes cycles attributed since the last commit point into the
@@ -388,17 +446,16 @@ func (r *Recorder) EnterFunc(fn int) {
 	if !r.profile {
 		return
 	}
-	r.stack = append(r.stack, fn)
-	r.foldKey += ";" + r.funcName(fn)
+	r.foldDescend(fn)
 }
 
-// LeaveFunc pops the shadow call stack.
+// LeaveFunc pops the shadow call stack. A pop at the root (a Leave with
+// no matching Enter after a re-root) is ignored.
 func (r *Recorder) LeaveFunc() {
-	if !r.profile || len(r.stack) == 0 {
+	if !r.profile || r.curNode == 0 {
 		return
 	}
-	r.stack = r.stack[:len(r.stack)-1]
-	r.rebuildFold()
+	r.curNode = r.foldNodes[r.curNode].parent
 }
 
 // ResetStack re-roots the shadow call stack after a control-flow
@@ -409,11 +466,10 @@ func (r *Recorder) ResetStack(fn int) {
 	if !r.profile {
 		return
 	}
-	r.stack = r.stack[:0]
+	r.curNode = 0
 	if fn >= 0 {
-		r.stack = append(r.stack, fn)
+		r.foldDescend(fn)
 	}
-	r.rebuildFold()
 }
 
 func (r *Recorder) funcName(fn int) string {
@@ -421,15 +477,6 @@ func (r *Recorder) funcName(fn int) string {
 		return r.funcs[fn]
 	}
 	return "(stub)"
-}
-
-func (r *Recorder) resetFold() { r.foldKey = "(device)" }
-
-func (r *Recorder) rebuildFold() {
-	r.resetFold()
-	for _, fn := range r.stack {
-		r.foldKey += ";" + r.funcName(fn)
-	}
 }
 
 // Profile is the attribution summary.
@@ -464,21 +511,57 @@ func (p Profile) ReexecRatio() float64 {
 	return float64(p.ByCategory[CatDead.String()]) / float64(t)
 }
 
+// MergeProfiles folds many profiles into one: categories, functions and
+// folded stacks all add. The fleet aggregator uses it to merge every
+// device's profile into a single fleet-wide flame graph — devices run the
+// same image, so their stack signatures align and hot paths sum.
+func MergeProfiles(ps ...Profile) Profile {
+	out := Profile{
+		ByCategory: map[string]int64{},
+		ByFunction: map[string]int64{},
+		Folded:     map[string]int64{},
+	}
+	for _, p := range ps {
+		for k, v := range p.ByCategory {
+			out.ByCategory[k] += v
+		}
+		for k, v := range p.ByFunction {
+			out.ByFunction[k] += v
+		}
+		for k, v := range p.Folded {
+			out.Folded[k] += v
+		}
+	}
+	return out
+}
+
 // Profile snapshots the attribution (call Finish first for exact totals).
 func (r *Recorder) Profile() Profile {
 	p := Profile{
 		ByCategory: make(map[string]int64, catCount),
-		ByFunction: make(map[string]int64, len(r.byFunc)),
-		Folded:     make(map[string]int64, len(r.folded)),
+		ByFunction: make(map[string]int64, len(r.funcs)+1),
+		Folded:     make(map[string]int64, len(r.foldNodes)),
 	}
 	for i, v := range r.byCat {
 		p.ByCategory[Category(i).String()] = v + r.pending[i]
 	}
-	for fn, v := range r.byFunc {
-		p.ByFunction[r.funcName(fn)] += v
+	// Render the interned signature trie back into folded-stack strings,
+	// and recover per-function totals by summing each function's nodes
+	// (a node's count is self time for the function on top). Children
+	// always intern after their parent, so a single pass over the node
+	// list can reuse each parent's already-rendered key.
+	keys := make([]string, len(r.foldNodes))
+	keys[0] = "(device)"
+	for i := 1; i < len(r.foldNodes); i++ {
+		n := r.foldNodes[i]
+		keys[i] = keys[n.parent] + ";" + r.funcName(int(n.fn))
 	}
-	for k, v := range r.folded {
-		p.Folded[k] = v
+	for i, v := range r.foldCount {
+		if v == 0 {
+			continue
+		}
+		p.Folded[keys[i]] += v
+		p.ByFunction[r.funcName(int(r.foldNodes[i].fn))] += v
 	}
 	return p
 }

@@ -240,3 +240,61 @@ func TestWriteFolded(t *testing.T) {
 		t.Fatalf("folded output:\n%s", b.String())
 	}
 }
+
+// TestDroppedExportedThroughRegistry: ring overflow is visible to a
+// metrics scrape, not just to callers holding the Recorder — alongside
+// the ring capacity gauge, so "ring too small" is diagnosable remotely.
+func TestDroppedExportedThroughRegistry(t *testing.T) {
+	r := NewRecorder(Options{RingCap: 4})
+	if r.RingCap() != 4 {
+		t.Fatalf("RingCap = %d, want 4", r.RingCap())
+	}
+	if got := r.Metrics().Gauge("trace_ring_cap"); got != 4 {
+		t.Fatalf("trace_ring_cap gauge = %v, want 4", got)
+	}
+	if got := r.Metrics().Counter("trace_events_dropped"); got != 0 {
+		t.Fatalf("dropped counter before overflow = %d, want 0", got)
+	}
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: EvSend, Cycles: int64(i)})
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped() = %d, want 6", r.Dropped())
+	}
+	if got := r.Metrics().Counter("trace_events_dropped"); got != r.Dropped() {
+		t.Fatalf("registry says %d dropped, recorder says %d", got, r.Dropped())
+	}
+}
+
+func TestMergeProfiles(t *testing.T) {
+	a := Profile{
+		ByCategory: map[string]int64{"app": 10, "checkpoint": 2},
+		ByFunction: map[string]int64{"main": 12},
+		Folded:     map[string]int64{"main": 10, "main;ckpt": 2},
+	}
+	b := Profile{
+		ByCategory: map[string]int64{"app": 5, "restore": 1},
+		ByFunction: map[string]int64{"main": 5, "f": 1},
+		Folded:     map[string]int64{"main": 5, "main;f": 1},
+	}
+	m := MergeProfiles(a, b)
+	if m.ByCategory["app"] != 15 || m.ByCategory["checkpoint"] != 2 || m.ByCategory["restore"] != 1 {
+		t.Fatalf("ByCategory merge wrong: %v", m.ByCategory)
+	}
+	if m.ByFunction["main"] != 17 || m.ByFunction["f"] != 1 {
+		t.Fatalf("ByFunction merge wrong: %v", m.ByFunction)
+	}
+	if m.Folded["main"] != 15 || m.Folded["main;ckpt"] != 2 || m.Folded["main;f"] != 1 {
+		t.Fatalf("Folded merge wrong: %v", m.Folded)
+	}
+	// Merging zero profiles yields an empty, usable profile.
+	empty := MergeProfiles()
+	if len(empty.ByCategory) != 0 || empty.ByCategory == nil {
+		t.Fatalf("empty merge: %+v", empty)
+	}
+	// Inputs are not aliased by the merge.
+	m.ByCategory["app"] = 999
+	if a.ByCategory["app"] != 10 || b.ByCategory["app"] != 5 {
+		t.Fatal("merge aliased an input map")
+	}
+}

@@ -28,7 +28,7 @@ func (g *Registry) WritePrometheusLabeled(w io.Writer, labels map[string]string)
 	base := promLabels(labels, "", "")
 	for _, k := range sortedKeys(g.counters) {
 		name := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, base, g.counters[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, base, *g.counters[k]); err != nil {
 			return err
 		}
 	}

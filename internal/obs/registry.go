@@ -15,7 +15,7 @@ import (
 //
 // Not safe for concurrent use; every machine/runtime owns its own.
 type Registry struct {
-	counters map[string]int64
+	counters map[string]*int64
 	gauges   map[string]float64
 	hists    map[string]*Histogram
 }
@@ -23,20 +23,38 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]int64{},
+		counters: map[string]*int64{},
 		gauges:   map[string]float64{},
 		hists:    map[string]*Histogram{},
 	}
 }
 
+// CounterRef returns a stable pointer to a counter's cell, creating it
+// at zero first. Hot emission paths (the recorder bumps a counter per
+// event) cache the ref once and increment through it, skipping the map
+// lookup per event.
+func (g *Registry) CounterRef(name string) *int64 {
+	c, ok := g.counters[name]
+	if !ok {
+		c = new(int64)
+		g.counters[name] = c
+	}
+	return c
+}
+
 // Inc adds 1 to a counter, creating it at zero first.
-func (g *Registry) Inc(name string) { g.counters[name]++ }
+func (g *Registry) Inc(name string) { *g.CounterRef(name)++ }
 
 // Add adds d to a counter.
-func (g *Registry) Add(name string, d int64) { g.counters[name] += d }
+func (g *Registry) Add(name string, d int64) { *g.CounterRef(name) += d }
 
 // Counter reads a counter (0 if absent).
-func (g *Registry) Counter(name string) int64 { return g.counters[name] }
+func (g *Registry) Counter(name string) int64 {
+	if c, ok := g.counters[name]; ok {
+		return *c
+	}
+	return 0
+}
 
 // SetGauge sets a gauge to v.
 func (g *Registry) SetGauge(name string, v float64) { g.gauges[name] = v }
@@ -77,7 +95,7 @@ func (g *Registry) Histogram(name string) *Histogram { return g.hists[name] }
 // how per-device registries fold into fleet totals.
 func (g *Registry) Merge(other *Registry) error {
 	for k, v := range other.counters {
-		g.counters[k] += v
+		*g.CounterRef(k) += *v
 	}
 	for k, v := range other.gauges {
 		g.gauges[k] += v
@@ -100,7 +118,7 @@ func (g *Registry) Merge(other *Registry) error {
 func (g *Registry) CounterSnapshot() map[string]int64 {
 	out := make(map[string]int64, len(g.counters))
 	for k, v := range g.counters {
-		out[k] = v
+		out[k] = *v
 	}
 	return out
 }
@@ -108,7 +126,7 @@ func (g *Registry) CounterSnapshot() map[string]int64 {
 // Dump writes every metric in deterministic sorted order.
 func (g *Registry) Dump(w io.Writer) {
 	for _, k := range sortedKeys(g.counters) {
-		fmt.Fprintf(w, "counter %-32s %d\n", k, g.counters[k])
+		fmt.Fprintf(w, "counter %-32s %d\n", k, *g.counters[k])
 	}
 	for _, k := range sortedKeys(g.gauges) {
 		fmt.Fprintf(w, "gauge   %-32s %g\n", k, g.gauges[k])

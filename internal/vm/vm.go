@@ -123,10 +123,24 @@ var ErrStarved = errors.New("vm: starved: no forward progress within the watchdo
 // Seq because only committed sends ever leave the device.
 type SendRec struct {
 	Value  int32
-	TrueMs float64 // true wall-clock time of the send
-	EstMs  int64   // the device's own clock at the send
+	TrueMs float64 // true wall-clock time of the transmission (commit time when virtualized)
+	EstMs  int64   // the device's own clock at the transmission
 	Seq    int64   // committed-send sequence number (see above)
+	// EmitTrueMs/EmitEstMs snapshot the Send instruction's execution —
+	// the moment the payload (typically a sensor reading) was produced.
+	// For raw-radio sends they equal TrueMs/EstMs; for virtualized sends
+	// the packet is held until the next commit point, so
+	// TrueMs - EmitTrueMs is the commit latency the telemetry layer
+	// reports per message span, and EmitEstMs is the payload's sensor
+	// timestamp on the device clock.
+	EmitTrueMs float64
+	EmitEstMs  int64
 }
+
+// CommitLatencyMs is the time the packet waited between its Send
+// instruction and the commit point that released it to the radio (0 for
+// raw-radio sends, which transmit immediately).
+func (r SendRec) CommitLatencyMs() float64 { return r.TrueMs - r.EmitTrueMs }
 
 // SensorBank provides sensor readings; implementations live in
 // internal/sensors.
@@ -869,7 +883,9 @@ func (m *Machine) step() error {
 		}
 		m.Push(uint32(v))
 	case isa.Send:
-		rec := SendRec{Value: int32(m.Pop()), TrueMs: m.TrueNowMs(), EstMs: m.clock.Now(), Seq: m.sendSeq}
+		now, est := m.TrueNowMs(), m.clock.Now()
+		rec := SendRec{Value: int32(m.Pop()), TrueMs: now, EstMs: est,
+			EmitTrueMs: now, EmitEstMs: est, Seq: m.sendSeq}
 		m.sendSeq++
 		virt := int64(0)
 		if m.virtualizeSends {
