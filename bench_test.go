@@ -7,15 +7,13 @@
 package tics_test
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"runtime"
 	"testing"
 	"time"
 
 	tics "repro"
 	"repro/internal/apps"
+	"repro/internal/bench"
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -227,31 +225,39 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	if len(byWorkers) == 0 {
 		return // sub-benchmark filter excluded the n=64 runs
 	}
-	out := map[string]any{
-		"n":    64,
-		"cpus": runtime.NumCPU(),
-		"app":  "ghm",
+	// Merge the n=64 entry into the versioned ledger by key: the scaling
+	// sweep's n=1e3..1e5 entries and the opcode table stay untouched
+	// (internal/bench owns the schema and the legacy-file migration).
+	entry := &bench.FleetEntry{
+		Devices: 64, App: "ghm", WallMs: 500, Source: "benchmark",
+		Workers: map[string]bench.Point{},
 	}
 	for w, m := range byWorkers {
-		out[fmt.Sprintf("workers_%d", w)] = m
+		p := bench.Point{
+			DevicesPerSec:      m["devices_per_sec"],
+			DeviceCyclesPerSec: m["device_cycles_per_sec"],
+		}
+		entry.Workers[fmt.Sprint(w)] = p
+		if p.DevicesPerSec > entry.Best.DevicesPerSec {
+			entry.Best = p
+		}
+	}
+	if w1, ok := byWorkers[1]; ok && w1["devices_per_sec"] > 0 {
+		entry.SpeedupBestOverW1 = entry.Best.DevicesPerSec / w1["devices_per_sec"]
 	}
 	if off, on := telemetry["off"], telemetry["on"]; off != nil && on != nil {
-		out["telemetry"] = map[string]any{
-			"off":          off,
-			"on":           on,
-			"overhead_pct": 100 * (off["devices_per_sec"] - on["devices_per_sec"]) / off["devices_per_sec"],
+		entry.Telemetry = &bench.TelemetryPair{
+			Off: bench.Point{DevicesPerSec: off["devices_per_sec"], DeviceCyclesPerSec: off["device_cycles_per_sec"]},
+			On:  bench.Point{DevicesPerSec: on["devices_per_sec"], DeviceCyclesPerSec: on["device_cycles_per_sec"]},
+			OverheadPct: 100 * (off["devices_per_sec"] - on["devices_per_sec"]) /
+				off["devices_per_sec"],
 		}
 	}
-	if w1, ok1 := byWorkers[1]; ok1 {
-		if w4, ok4 := byWorkers[4]; ok4 {
-			out["speedup_w4_over_w1"] = w4["devices_per_sec"] / w1["devices_per_sec"]
-		}
-	}
-	buf, err := json.MarshalIndent(out, "", "  ")
+	err := bench.Update("BENCH_fleet.json", func(f *bench.File) error {
+		f.SetFleet(bench.FleetKey(64), entry)
+		return nil
+	})
 	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile("BENCH_fleet.json", append(buf, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -61,6 +61,7 @@ func main() {
 
 		serveAddr = flag.String("serve", "", "serve the fleet behind HTTP on ADDR (e.g. :8080): /, /healthz, /metrics, /fleet, /trace/{dev}/{seq}, /events")
 		loop      = flag.Bool("loop", false, "with -serve: re-run the fleet continuously (round r uses seed+r)")
+		pprofOn   = flag.Bool("pprof", false, "with -serve: mount net/http/pprof under /debug/pprof/ (host-process profiling)")
 
 		traceMsg = flag.String("trace", "", "print one message's span chain as JSON, given as DEV:SEQ (e.g. -trace 3:7)")
 		spansOut = flag.String("spans", "", "write every message's span chain as JSONL to FILE")
@@ -125,7 +126,7 @@ func main() {
 	}
 
 	if *serveAddr != "" {
-		fatal(fleet.Serve(*serveAddr, cfg, *loop))
+		fatal(fleet.Serve(*serveAddr, cfg, fleet.ServeOptions{Loop: *loop, Pprof: *pprofOn}))
 	}
 
 	rep, err := fleet.Run(cfg)
@@ -232,6 +233,11 @@ func printReport(cfg fleet.Config, rep *fleet.Report) {
 	fmt.Printf("gateway:      %d delivered, %d duplicates dropped, %d expired, %d lost\n",
 		rep.Gateway.Delivered, rep.Gateway.Duplicates, rep.Gateway.Expired, rep.Lost)
 	fmt.Printf("latency:      p50 %.1f ms, p99 %.1f ms end-to-end\n", rep.LatencyP50, rep.LatencyP99)
+	fmt.Printf("phases:      ")
+	for _, p := range rep.Phases {
+		fmt.Printf(" %s %.1fms", p.Phase, p.Seconds*1000)
+	}
+	fmt.Printf(" (wall %.1fms)\n", rep.WallSeconds*1000)
 	fmt.Printf("digest:       %.16s…\n", rep.Digest)
 	if len(rep.Anomalies) > 0 {
 		fmt.Printf("anomalies:    %d flagged\n", len(rep.Anomalies))
@@ -253,6 +259,12 @@ func writeProm(rep *fleet.Report, path string, shards bool) error {
 		return err
 	}
 	if err := fleet.WriteAnomaliesProm(f, rep.Anomalies); err != nil {
+		return err
+	}
+	if err := fleet.WritePhasesProm(f, rep.Phases); err != nil {
+		return err
+	}
+	if err := rep.Resources.WriteProm(f, "fleet_resource_"); err != nil {
 		return err
 	}
 	if shards {

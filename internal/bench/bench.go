@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Load reads a ledger from path. The unversioned legacy layout (the
+// flat n=64 object the old BenchmarkFleetThroughput wrote) is migrated
+// into schema version 1; future versions are rejected rather than
+// silently misread.
+func Load(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(b)
+}
+
+// LoadOrNew is Load, except a missing file yields a fresh empty ledger
+// — the merge-by-key writers start from this.
+func LoadOrNew(path string) (*File, error) {
+	f, err := Load(path)
+	if os.IsNotExist(err) {
+		return NewFile(), nil
+	}
+	return f, err
+}
+
+// Parse decodes ledger bytes, migrating the legacy layout if needed.
+func Parse(b []byte) (*File, error) {
+	var probe struct {
+		SchemaVersion *int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	if probe.SchemaVersion == nil {
+		return migrateLegacy(b)
+	}
+	if *probe.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("bench: schema_version %d, this build understands %d", *probe.SchemaVersion, SchemaVersion)
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	if f.Fleet == nil {
+		f.Fleet = map[string]*FleetEntry{}
+	}
+	return &f, nil
+}
+
+// migrateLegacy lifts the old flat BENCH_fleet.json (app/cpus/n/
+// workers_N/telemetry/speedup_w4_over_w1) into one versioned fleet
+// entry so -compare can gate against pre-schema baselines.
+func migrateLegacy(b []byte) (*File, error) {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return nil, fmt.Errorf("bench: legacy: %w", err)
+	}
+	if _, ok := raw["n"]; !ok {
+		return nil, fmt.Errorf("bench: unrecognized layout (neither schema_version nor legacy n)")
+	}
+	e := &FleetEntry{Source: "benchmark", Workers: map[string]Point{}}
+	f := NewFile()
+
+	num := func(key string) float64 {
+		var v float64
+		if r, ok := raw[key]; ok {
+			json.Unmarshal(r, &v)
+		}
+		return v
+	}
+	e.Devices = int(num("n"))
+	if r, ok := raw["app"]; ok {
+		json.Unmarshal(r, &e.App)
+	}
+	if c := int(num("cpus")); c > 0 {
+		f.Host.CPUs = c
+	}
+	e.SpeedupBestOverW1 = num("speedup_w4_over_w1")
+
+	for key, r := range raw {
+		w, ok := strings.CutPrefix(key, "workers_")
+		if !ok {
+			continue
+		}
+		if _, err := strconv.Atoi(w); err != nil {
+			continue
+		}
+		var p Point
+		if err := json.Unmarshal(r, &p); err != nil {
+			return nil, fmt.Errorf("bench: legacy %s: %w", key, err)
+		}
+		e.Workers[w] = p
+		if p.DevicesPerSec > e.Best.DevicesPerSec {
+			e.Best = p
+		}
+	}
+	if r, ok := raw["telemetry"]; ok {
+		var tp TelemetryPair
+		if err := json.Unmarshal(r, &tp); err != nil {
+			return nil, fmt.Errorf("bench: legacy telemetry: %w", err)
+		}
+		e.Telemetry = &tp
+	}
+	if e.Devices <= 0 {
+		return nil, fmt.Errorf("bench: legacy n=%d", e.Devices)
+	}
+	f.SetFleet(FleetKey(e.Devices), e)
+	return f, nil
+}
+
+// Save writes the ledger with stable formatting (indented, sorted keys
+// courtesy of encoding/json's map ordering, trailing newline) so diffs
+// stay readable.
+func Save(path string, f *File) error {
+	f.SchemaVersion = SchemaVersion
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Update loads path (or starts fresh), applies fn to merge new entries
+// in, and saves — the single call sites use for merge-by-key writes.
+func Update(path string, fn func(*File) error) error {
+	f, err := LoadOrNew(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		return err
+	}
+	f.Host = CurrentHost() // the writer's host wins; stale host info lies
+	return Save(path, f)
+}

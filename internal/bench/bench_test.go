@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// legacyJSON is the exact shape the pre-schema BenchmarkFleetThroughput
+// wrote — migration must keep old baselines comparable.
+const legacyJSON = `{
+  "app": "ghm",
+  "cpus": 2,
+  "n": 64,
+  "speedup_w4_over_w1": 1.31,
+  "telemetry": {
+    "off": {"device_cycles_per_sec": 1310467707.4, "devices_per_sec": 5715.2},
+    "on": {"device_cycles_per_sec": 1201181824.9, "devices_per_sec": 5106.4},
+    "overhead_pct": 10.65
+  },
+  "workers_1": {"device_cycles_per_sec": 847516909.0, "devices_per_sec": 3771.8},
+  "workers_2": {"device_cycles_per_sec": 972173955.1, "devices_per_sec": 4220.7},
+  "workers_4": {"device_cycles_per_sec": 1150271322.7, "devices_per_sec": 4938.7}
+}`
+
+func TestMigrateLegacy(t *testing.T) {
+	f, err := Parse([]byte(legacyJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema_version %d", f.SchemaVersion)
+	}
+	if f.Host.CPUs != 2 {
+		t.Fatalf("host.cpus %d, want legacy 2", f.Host.CPUs)
+	}
+	e := f.Fleet["n=64"]
+	if e == nil {
+		t.Fatalf("no n=64 entry: %v", f.FleetKeys())
+	}
+	if e.Devices != 64 || e.App != "ghm" || e.Source != "benchmark" {
+		t.Fatalf("entry %+v", e)
+	}
+	if e.Best.DevicesPerSec != 4938.7 {
+		t.Fatalf("best %.1f, want the workers_4 point", e.Best.DevicesPerSec)
+	}
+	if len(e.Workers) != 3 || e.Workers["2"].DeviceCyclesPerSec != 972173955.1 {
+		t.Fatalf("workers %+v", e.Workers)
+	}
+	if e.Telemetry == nil || e.Telemetry.OverheadPct != 10.65 {
+		t.Fatalf("telemetry %+v", e.Telemetry)
+	}
+	if e.SpeedupBestOverW1 != 1.31 {
+		t.Fatalf("speedup %g", e.SpeedupBestOverW1)
+	}
+}
+
+func TestParseRejectsFutureSchema(t *testing.T) {
+	_, err := Parse([]byte(`{"schema_version": 99}`))
+	if err == nil || !strings.Contains(err.Error(), "schema_version 99") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func sampleEntry(n int) *FleetEntry {
+	return &FleetEntry{
+		Devices: n, App: "ghm", WallMs: 100, Source: "sweep",
+		Best:    Point{DevicesPerSec: 1000, DeviceCyclesPerSec: 2e8},
+		Workers: map[string]Point{"1": {DevicesPerSec: 1000, DeviceCyclesPerSec: 2e8}},
+		Telemetry: &TelemetryPair{
+			Off:         Point{DevicesPerSec: 1000, DeviceCyclesPerSec: 2e8},
+			On:          Point{DevicesPerSec: 900, DeviceCyclesPerSec: 1.8e8},
+			OverheadPct: 10,
+		},
+		PeakRSSBytes: 50 << 20, RSSResettable: true, BytesPerDevice: 4096,
+		PhaseSeconds: map[string]float64{
+			fleet.PhaseBuild: 0.01, fleet.PhaseDevices: 0.5, fleet.PhaseChannel: 0.02,
+			fleet.PhaseGateway: 0.02, fleet.PhaseTelemetry: 0.001,
+		},
+		SpeedupBestOverW1: 1,
+	}
+}
+
+// TestMergeByKey is satellite S2's contract: a sweep write and a legacy
+// n=64 benchmark write land in the same file without clobbering each
+// other.
+func TestMergeByKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	// Seed the file with a migrated legacy baseline.
+	if err := os.WriteFile(path, []byte(legacyJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A sweep merges its sizes in...
+	err := Update(path, func(f *File) error {
+		f.SetFleet(FleetKey(1000), sampleEntry(1000))
+		f.SetFleet(FleetKey(10000), sampleEntry(10000))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and an opcode run merges its table in, separately.
+	err = Update(path, func(f *File) error {
+		f.SetOpcode("Add", &OpcodeEntry{NsPerInstr: 12.5, Instrs: 100000})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"n=64", "n=1000", "n=10000"}
+	got := f.FleetKeys()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("keys %v, want %v", got, want)
+	}
+	if f.Fleet["n=64"].Best.DevicesPerSec != 4938.7 {
+		t.Fatalf("legacy entry clobbered: %+v", f.Fleet["n=64"])
+	}
+	if f.Opcodes["Add"].NsPerInstr != 12.5 {
+		t.Fatalf("opcodes %+v", f.Opcodes)
+	}
+	if f.Host.CPUs != CurrentHost().CPUs {
+		t.Fatalf("host not refreshed: %+v", f.Host)
+	}
+}
+
+func twoLedgers() (*File, *File) {
+	old, new := NewFile(), NewFile()
+	for _, n := range []int{1000, 10000} {
+		old.SetFleet(FleetKey(n), sampleEntry(n))
+		new.SetFleet(FleetKey(n), sampleEntry(n))
+	}
+	old.SetOpcode("Add", &OpcodeEntry{NsPerInstr: 10, Instrs: 1e5})
+	new.SetOpcode("Add", &OpcodeEntry{NsPerInstr: 10, Instrs: 1e5})
+	return old, new
+}
+
+func TestCompareSelfIsClean(t *testing.T) {
+	old, new := twoLedgers()
+	if regs := Compare(old, new, 0, nil); len(regs) != 0 {
+		t.Fatalf("self-compare flagged %v", regs)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old, new := twoLedgers()
+	// 40% throughput drop on n=1000, 50% RSS rise on n=10000, 2× opcode.
+	new.Fleet["n=1000"].Best.DevicesPerSec = 600
+	new.Fleet["n=10000"].PeakRSSBytes = 75 << 20
+	new.Opcodes["Add"].NsPerInstr = 20
+
+	regs := Compare(old, new, 0, nil)
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions: %v", len(regs), regs)
+	}
+	kinds := map[string]string{}
+	for _, r := range regs {
+		kinds[r.Key] = r.Metric
+		if r.DeltaPct <= 0 {
+			t.Fatalf("delta not positive-is-worse: %v", r)
+		}
+	}
+	if kinds["n=1000"] != "devices_per_sec" || kinds["n=10000"] != "peak_rss_bytes" || kinds["opcode/Add"] != "ns_per_instr" {
+		t.Fatalf("kinds %v", kinds)
+	}
+
+	// A loose tolerance forgives all three.
+	if regs := Compare(old, new, 1.5, nil); len(regs) != 0 {
+		t.Fatalf("tolerance 150%% still flagged %v", regs)
+	}
+}
+
+func TestCompareSkipsMismatchedHosts(t *testing.T) {
+	old, new := twoLedgers()
+	new.Fleet["n=1000"].Best.DevicesPerSec = 1 // would be a huge regression
+	new.Host.CPUs = old.Host.CPUs + 7
+	var warn strings.Builder
+	if regs := Compare(old, new, 0, &warn); len(regs) != 0 {
+		t.Fatalf("cross-host compare flagged %v", regs)
+	}
+	if !strings.Contains(warn.String(), "hosts differ") {
+		t.Fatalf("no warning: %q", warn.String())
+	}
+}
+
+func TestCompareSkipsBaselineOnlyKeys(t *testing.T) {
+	old, new := twoLedgers()
+	delete(new.Fleet, "n=10000")
+	var warn strings.Builder
+	if regs := Compare(old, new, 0, &warn); len(regs) != 0 {
+		t.Fatalf("missing key flagged %v", regs)
+	}
+	if !strings.Contains(warn.String(), "n=10000 only in baseline") {
+		t.Fatalf("warning %q", warn.String())
+	}
+}
+
+func TestCompareRSSModeMismatchNotGated(t *testing.T) {
+	old, new := twoLedgers()
+	new.Fleet["n=1000"].RSSResettable = false
+	new.Fleet["n=1000"].PeakRSSBytes = 500 << 20 // monotone number, incomparable
+	if regs := Compare(old, new, 0, nil); len(regs) != 0 {
+		t.Fatalf("incomparable RSS flagged %v", regs)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	f := NewFile()
+	f.SetFleet(FleetKey(1000), sampleEntry(1000))
+	f.SetOpcode("Add", &OpcodeEntry{NsPerInstr: 10, Instrs: 1e5})
+	if errs := Validate(f); len(errs) != 0 {
+		t.Fatalf("valid file rejected: %v", errs)
+	}
+
+	// Break it several ways at once; every symptom must be reported.
+	bad := NewFile()
+	e := sampleEntry(500)
+	e.Source = "vibes"
+	e.PhaseSeconds["warp"] = 0.1
+	bad.SetFleet("n=9999", e) // key/devices mismatch
+	bad.SetOpcode("Sub", &OpcodeEntry{NsPerInstr: -1, Instrs: 0})
+	errs := Validate(bad)
+	for _, want := range []string{"does not match devices", "source", "unknown phase", "ns_per_instr", "instrs"} {
+		found := false
+		for _, err := range errs {
+			if strings.Contains(err.Error(), want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no error mentioning %q in %v", want, errs)
+		}
+	}
+}
+
+// TestRunSweepSmall exercises the real sweep machinery on a fleet small
+// enough for CI and checks the entry it produces honors the schema.
+func TestRunSweepSmall(t *testing.T) {
+	entries, err := RunSweep(SweepConfig{Ns: []int{8}, Workers: []int{1, 2}, WallMs: 20}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entries["n=8"]
+	if e == nil {
+		t.Fatalf("entries %v", entries)
+	}
+	if e.Best.DevicesPerSec <= 0 || e.Best.DeviceCyclesPerSec <= 0 {
+		t.Fatalf("best %+v", e.Best)
+	}
+	if len(e.Workers) != 2 {
+		t.Fatalf("workers %+v", e.Workers)
+	}
+	if len(e.PhaseSeconds) != len(fleet.PhaseNames) {
+		t.Fatalf("phases %+v", e.PhaseSeconds)
+	}
+	if e.Telemetry == nil || e.Telemetry.On.DevicesPerSec <= 0 {
+		t.Fatalf("telemetry %+v", e.Telemetry)
+	}
+	if e.BytesPerDevice <= 0 {
+		t.Fatalf("bytes/device %g", e.BytesPerDevice)
+	}
+
+	f := NewFile()
+	for k, v := range entries {
+		f.SetFleet(k, v)
+	}
+	if errs := Validate(f); len(errs) != 0 {
+		t.Fatalf("sweep output fails validation: %v", errs)
+	}
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DefaultTolerance is the relative slack -compare allows before calling
+// a delta a regression: 0.25 means new numbers may be up to 25% worse
+// than the baseline. Throughput on a shared CI runner is noisy; RSS is
+// not, but GC timing still moves it between runs.
+const DefaultTolerance = 0.25
+
+// Regression is one gated metric that moved past tolerance in the bad
+// direction.
+type Regression struct {
+	Key      string  `json:"key"`    // "n=1000", "opcode/Add", ...
+	Metric   string  `json:"metric"` // "devices_per_sec", "peak_rss_bytes", "ns_per_instr"
+	Old      float64 `json:"old"`
+	New      float64 `json:"new"`
+	DeltaPct float64 `json:"delta_pct"` // signed; positive = worse
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%+.1f%%, worse)", r.Key, r.Metric, r.Old, r.New, r.DeltaPct)
+}
+
+// Compare gates new against old: for every fleet key both ledgers
+// carry, devices/sec must not drop and peak RSS must not rise by more
+// than tolerance; for every shared opcode, ns/instr must not rise.
+// Keys only one side has are skipped — adding a new sweep point is not
+// a regression. A zero tolerance means DefaultTolerance; hosts with
+// different CPU counts are never compared (one warning Regression-free
+// note is written to warnings instead).
+func Compare(old, new *File, tolerance float64, warnings io.Writer) []Regression {
+	if tolerance == 0 {
+		tolerance = DefaultTolerance
+	}
+	var regs []Regression
+	if old.Host.CPUs != 0 && new.Host.CPUs != 0 && old.Host.CPUs != new.Host.CPUs {
+		if warnings != nil {
+			fmt.Fprintf(warnings, "bench: hosts differ (%d vs %d CPUs); skipping throughput/RSS gates\n",
+				old.Host.CPUs, new.Host.CPUs)
+		}
+		return nil
+	}
+
+	for _, key := range old.FleetKeys() {
+		oe, ne := old.Fleet[key], new.Fleet[key]
+		if ne == nil {
+			if warnings != nil {
+				fmt.Fprintf(warnings, "bench: %s only in baseline; skipped\n", key)
+			}
+			continue
+		}
+		// Lower devices/sec is worse.
+		if oe.Best.DevicesPerSec > 0 && ne.Best.DevicesPerSec < oe.Best.DevicesPerSec*(1-tolerance) {
+			regs = append(regs, Regression{
+				Key: key, Metric: "devices_per_sec",
+				Old: oe.Best.DevicesPerSec, New: ne.Best.DevicesPerSec,
+				DeltaPct: 100 * (oe.Best.DevicesPerSec - ne.Best.DevicesPerSec) / oe.Best.DevicesPerSec,
+			})
+		}
+		// Higher peak RSS is worse. Only gate when both sides measured it
+		// the same way (per-entry resets vs monotone-across-sweep are not
+		// comparable).
+		if oe.PeakRSSBytes > 0 && ne.PeakRSSBytes > 0 && oe.RSSResettable == ne.RSSResettable &&
+			float64(ne.PeakRSSBytes) > float64(oe.PeakRSSBytes)*(1+tolerance) {
+			regs = append(regs, Regression{
+				Key: key, Metric: "peak_rss_bytes",
+				Old: float64(oe.PeakRSSBytes), New: float64(ne.PeakRSSBytes),
+				DeltaPct: 100 * (float64(ne.PeakRSSBytes) - float64(oe.PeakRSSBytes)) / float64(oe.PeakRSSBytes),
+			})
+		}
+	}
+
+	opNames := make([]string, 0, len(old.Opcodes))
+	for name := range old.Opcodes {
+		opNames = append(opNames, name)
+	}
+	sort.Strings(opNames)
+	for _, name := range opNames {
+		oe, ne := old.Opcodes[name], new.Opcodes[name]
+		if ne == nil {
+			continue
+		}
+		if oe.NsPerInstr > 0 && ne.NsPerInstr > oe.NsPerInstr*(1+tolerance) {
+			regs = append(regs, Regression{
+				Key: "opcode/" + name, Metric: "ns_per_instr",
+				Old: oe.NsPerInstr, New: ne.NsPerInstr,
+				DeltaPct: 100 * (ne.NsPerInstr - oe.NsPerInstr) / oe.NsPerInstr,
+			})
+		}
+	}
+	return regs
+}

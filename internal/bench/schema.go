@@ -1,0 +1,146 @@
+// Package bench owns the repo's performance ledger: the versioned
+// BENCH_fleet.json schema, merge-by-key persistence (so the fleet
+// sweep, the legacy n=64 benchmark and the opcode microbench can each
+// update their slice of the file without clobbering the others), a
+// schema validator, and the regression gate `ticsbench -compare` runs
+// in CI. This is the measurement harness ROADMAP item 1 gates on:
+// devices/sec and peak RSS tracked across n∈{1e3, 1e4, 1e5}.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion identifies the BENCH_fleet.json layout. Bump it on any
+// incompatible reshaping; Load migrates the unversioned legacy layout
+// (the flat n=64 file) into version 1 automatically.
+const SchemaVersion = 1
+
+// File is the whole ledger.
+type File struct {
+	SchemaVersion int `json:"schema_version"`
+	// Host records where the numbers came from — a 1-CPU CI runner and
+	// a 16-core workstation must never be compared as equals.
+	Host Host `json:"host"`
+	// Fleet holds one entry per fleet configuration, keyed "n=<devices>".
+	Fleet map[string]*FleetEntry `json:"fleet"`
+	// Opcodes holds the per-opcode dispatch microbenchmark, keyed by
+	// opcode name (ROADMAP item 2's baseline).
+	Opcodes map[string]*OpcodeEntry `json:"opcodes,omitempty"`
+}
+
+// Host describes the measuring machine.
+type Host struct {
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+}
+
+// CurrentHost samples the running process's host description.
+func CurrentHost() Host {
+	return Host{
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+}
+
+// Point is one throughput measurement.
+type Point struct {
+	DevicesPerSec      float64 `json:"devices_per_sec"`
+	DeviceCyclesPerSec float64 `json:"device_cycles_per_sec"`
+}
+
+// TelemetryPair prices the observability stack: the same fleet with
+// collection+tracing+profiling on vs off.
+type TelemetryPair struct {
+	Off         Point   `json:"off"`
+	On          Point   `json:"on"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// FleetEntry is one fleet configuration's numbers.
+type FleetEntry struct {
+	Devices int     `json:"devices"`
+	App     string  `json:"app"`
+	WallMs  float64 `json:"wall_ms,omitempty"` // per-device simulated wall budget
+	Source  string  `json:"source"`            // "sweep" or "benchmark"
+
+	// Best is the headline throughput (best worker count, telemetry off).
+	Best Point `json:"best"`
+	// Workers maps worker count → throughput at that count.
+	Workers map[string]Point `json:"workers,omitempty"`
+	// Telemetry prices the observability stack at the best worker count.
+	Telemetry *TelemetryPair `json:"telemetry,omitempty"`
+
+	// PeakRSSBytes is the host process's RSS high-water mark over this
+	// entry's runs (per-entry when the kernel's clear_refs reset is
+	// available, else monotone across the sweep — RSSResettable says
+	// which). BytesPerDevice is host heap allocation per simulated
+	// device of the best run.
+	PeakRSSBytes   int64   `json:"peak_rss_bytes,omitempty"`
+	RSSResettable  bool    `json:"rss_resettable,omitempty"`
+	BytesPerDevice float64 `json:"bytes_per_device,omitempty"`
+
+	// PhaseSeconds partitions the best run's round wall time: build,
+	// devices, channel, gateway, telemetry.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+
+	SpeedupBestOverW1 float64 `json:"speedup_best_over_w1,omitempty"`
+}
+
+// OpcodeEntry is one opcode's dispatch cost.
+type OpcodeEntry struct {
+	NsPerInstr float64 `json:"ns_per_instr"`
+	Instrs     int64   `json:"instrs"` // dispatched instructions measured
+}
+
+// NewFile returns an empty ledger for the current host.
+func NewFile() *File {
+	return &File{
+		SchemaVersion: SchemaVersion,
+		Host:          CurrentHost(),
+		Fleet:         map[string]*FleetEntry{},
+	}
+}
+
+// FleetKey is the canonical fleet-entry key for a device count.
+func FleetKey(devices int) string { return fmt.Sprintf("n=%d", devices) }
+
+// SetFleet merges one fleet entry by key, leaving every other key
+// untouched — how the sweep and the legacy benchmark coexist.
+func (f *File) SetFleet(key string, e *FleetEntry) {
+	if f.Fleet == nil {
+		f.Fleet = map[string]*FleetEntry{}
+	}
+	f.Fleet[key] = e
+}
+
+// SetOpcode merges one opcode entry by name.
+func (f *File) SetOpcode(name string, e *OpcodeEntry) {
+	if f.Opcodes == nil {
+		f.Opcodes = map[string]*OpcodeEntry{}
+	}
+	f.Opcodes[name] = e
+}
+
+// FleetKeys returns the fleet keys sorted by device count (then
+// lexically), for deterministic report order.
+func (f *File) FleetKeys() []string {
+	keys := make([]string, 0, len(f.Fleet))
+	for k := range f.Fleet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		di, dj := f.Fleet[keys[i]].Devices, f.Fleet[keys[j]].Devices
+		if di != dj {
+			return di < dj
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

@@ -149,6 +149,18 @@ type Report struct {
 	Seed    uint64  `json:"seed"`
 	Elapsed float64 `json:"elapsed_sec"` // host wall time of the device phase
 
+	// Phases partitions the round's host wall time: image build, device
+	// execution, channel pass, gateway pass, telemetry render — always
+	// all five, always in that order (worker-count independent
+	// structure; only the durations vary). WallSeconds is the round
+	// total the partition reconciles against.
+	Phases      []PhaseTime `json:"phases"`
+	WallSeconds float64     `json:"wall_seconds"`
+
+	// Resources samples the host process (heap, GC, goroutines, RSS)
+	// at the end of the round — the fleet_resource_* series.
+	Resources obs.ResourceSnapshot `json:"resources"`
+
 	TotalCycles int64   `json:"total_cycles"`          // simulated cycles across all devices
 	Throughput  float64 `json:"device_cycles_per_sec"` // TotalCycles / Elapsed
 
@@ -212,9 +224,11 @@ func Run(cfg Config) (*Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	pc := newPhaseClock()
 	// Build once, share everywhere: the linked image is immutable after
 	// Build (machines copy it into their private memories), and it is by
 	// far the most expensive per-device setup cost.
+	pc.enter(PhaseBuild)
 	img, _, err := replay.BuildImage(cfg.DeviceSpec(0))
 	if err != nil {
 		return nil, err
@@ -229,6 +243,7 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Profile {
 		profiles = make([]obs.Profile, n)
 	}
+	pc.enter(PhaseDevices)
 	start := time.Now()
 	ParallelFor(n, workers, func(i int) {
 		outcomes[i] = runDevice(img, cfg, i, registries, profiles)
@@ -273,6 +288,7 @@ func Run(cfg Config) (*Report, error) {
 		tel = NewTelemetry(n, cfg.FreshnessMs)
 	}
 	gw := NewGateway(cfg.FreshnessMs)
+	pc.enter(PhaseChannel)
 	var arrivals []Arrival
 	for i := range outcomes {
 		log := outcomes[i].Res.SendLog
@@ -286,10 +302,12 @@ func Run(cfg Config) (*Report, error) {
 		rep.Link.add(st)
 		arrivals = append(arrivals, devArr...)
 	}
+	pc.enter(PhaseGateway)
 	SortArrivals(arrivals)
 	for _, a := range arrivals {
 		tel.onVerdict(a, gw.Accept(a))
 	}
+	pc.enter(PhaseTelemetry)
 	tel.finalize()
 	rep.Telemetry = tel
 	rep.gw = gw
@@ -335,6 +353,8 @@ func Run(cfg Config) (*Report, error) {
 		p := obs.MergeProfiles(profiles...)
 		rep.Profile = &p
 	}
+	rep.Phases, rep.WallSeconds = pc.finish()
+	rep.Resources = obs.SampleResources()
 	return rep, nil
 }
 

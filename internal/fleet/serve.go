@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -32,14 +33,22 @@ type Server struct {
 	cfg  Config
 	loop bool
 
+	// Pprof mounts net/http/pprof under /debug/pprof/ on Handler's mux.
+	// Off by default: profiling endpoints expose host internals, so the
+	// operator opts in per server (ticsfleet -pprof). Set before
+	// Handler() is called.
+	Pprof bool
+
 	mu      sync.RWMutex
 	rep     *Report
 	runs    int64
 	lastErr error
 
-	subMu   sync.Mutex
-	subs    map[int]chan []byte
-	nextSub int
+	subMu    sync.Mutex
+	subs     map[int]chan []byte
+	nextSub  int
+	done     chan struct{}
+	shutOnce sync.Once
 }
 
 // NewServer builds a server over the given fleet config. Collect and
@@ -48,7 +57,25 @@ type Server struct {
 func NewServer(cfg Config, loop bool) *Server {
 	cfg.Collect = true
 	cfg.Trace = true
-	return &Server{cfg: cfg, loop: loop, subs: map[int]chan []byte{}}
+	return &Server{cfg: cfg, loop: loop, subs: map[int]chan []byte{}, done: make(chan struct{})}
+}
+
+// Shutdown ends the server's streaming side: the fleet loop stops after
+// the current round, and every SSE subscriber is unregistered and its
+// channel closed so the handler goroutines drain out instead of parking
+// on a channel nobody will ever send on again. Idempotent and safe to
+// call concurrently with publish — both sides hold subMu, so a closed
+// channel is never sent on.
+func (s *Server) Shutdown() {
+	s.shutOnce.Do(func() {
+		close(s.done)
+		s.subMu.Lock()
+		defer s.subMu.Unlock()
+		for id, ch := range s.subs {
+			close(ch)
+			delete(s.subs, id)
+		}
+	})
 }
 
 // Report returns the latest published report (nil before the first round
@@ -93,6 +120,8 @@ func (s *Server) RunFleet(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
+		case <-s.done:
+			return nil
 		default:
 		}
 	}
@@ -133,10 +162,16 @@ func (s *Server) summary(rep *Report) map[string]any {
 		"p99_ms":     rep.LatencyP99,
 		"anomalies":  len(rep.Anomalies),
 		"digest":     rep.Digest,
+		"wall_ms":    rep.WallSeconds * 1000,
+		"phases":     PhaseMap(rep.Phases),
 	}
 }
 
-// Handler returns the server's HTTP mux.
+// Handler returns the server's HTTP mux. When Pprof is set it also
+// mounts net/http/pprof under /debug/pprof/ — heap, goroutine, CPU
+// profiles and execution traces of the *simulator host process*, the
+// drill-down path when fleet_phase_seconds or fleet_resource_* point at
+// a hot phase. Without the flag the prefix 404s like any unknown path.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -145,6 +180,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /trace/{device}/{seq}", s.handleTrace)
 	mux.HandleFunc("GET /events", s.handleEvents)
+	if s.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -189,6 +231,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		rep.Metrics.WritePrometheus(w)
 	}
 	WriteAnomaliesProm(w, rep.Anomalies)
+	WritePhasesProm(w, rep.Phases)
+	rep.Resources.WriteProm(w, "fleet_resource_")
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
@@ -229,6 +273,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	ch := make(chan []byte, 8)
 	s.subMu.Lock()
+	select {
+	case <-s.done:
+		// Shutdown already ran: registering now would leak this handler
+		// (nobody will ever close the channel again).
+		s.subMu.Unlock()
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	default:
+	}
 	id := s.nextSub
 	s.nextSub++
 	s.subs[id] = ch
@@ -251,7 +304,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case b := <-ch:
+		case b, ok := <-ch:
+			if !ok {
+				return // Shutdown closed the subscription
+			}
 			fmt.Fprintf(w, "data: %s\n\n", b)
 			fl.Flush()
 		}
@@ -263,19 +319,31 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, dashboardHTML)
 }
 
-// Serve binds addr, starts the fleet (looping when loop is set) in the
-// background, and serves HTTP until the listener fails. The fleet's
+// ServeOptions selects Serve's optional behaviors.
+type ServeOptions struct {
+	Loop  bool // re-run the fleet continuously (round r uses seed+r)
+	Pprof bool // mount net/http/pprof under /debug/pprof/
+}
+
+// Serve binds addr, starts the fleet (looping when opts.Loop is set) in
+// the background, and serves HTTP until the listener fails. The fleet's
 // first round runs after the listener is up, so /healthz answers
 // immediately — the CI smoke depends on that ordering.
-func Serve(addr string, cfg Config, loop bool) error {
-	s := NewServer(cfg, loop)
+func Serve(addr string, cfg Config, opts ServeOptions) error {
+	s := NewServer(cfg, opts.Loop)
+	s.Pprof = opts.Pprof
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ticsfleet: serving on http://%s (fleet of %d × %s, loop=%v)\n",
-		ln.Addr(), cfg.Devices, cfg.App, loop)
-	go s.RunFleet(context.Background())
+	fmt.Printf("ticsfleet: serving on http://%s (fleet of %d × %s, loop=%v, pprof=%v)\n",
+		ln.Addr(), cfg.Devices, cfg.App, opts.Loop, opts.Pprof)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Shutdown on exit so the fleet loop and any parked SSE handlers
+	// drain instead of outliving the listener.
+	defer s.Shutdown()
+	go s.RunFleet(ctx)
 	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	return srv.Serve(ln)
 }
@@ -296,6 +364,7 @@ a{color:#8ac}
 </style></head><body>
 <h1>ticsfleet — live fleet telemetry</h1>
 <div class="tiles" id="tiles"></div>
+<h3>round phases</h3><div id="phases" style="color:#9ab"></div>
 <h3>anomalies</h3><ul id="anoms"><li style="color:#888">none</li></ul>
 <div id="log"></div>
 <p><a href="/fleet">/fleet</a> · <a href="/metrics">/metrics</a> · /trace/{device}/{seq}</p>
@@ -310,6 +379,11 @@ async function refresh(){
       tile('expired', s.expired)+tile('lost', s.lost)+
       tile('p50 ms', s.p50_ms.toFixed(1))+tile('p99 ms', s.p99_ms.toFixed(1))+
       tile('anomalies', s.anomalies);
+    const ph = (d.report.phases)||[];
+    const wall = d.report.wall_seconds||0;
+    document.getElementById('phases').textContent = ph.map(p =>
+      p.phase+' '+(p.seconds*1000).toFixed(1)+'ms').join('  ·  ')+
+      (wall ? '  ·  wall '+(wall*1000).toFixed(1)+'ms' : '');
     const as = (d.report.anomalies)||[];
     document.getElementById('anoms').innerHTML = as.length
       ? as.map(a=>'<li>dev'+a.dev+' '+a.kind+': '+a.detail+'</li>').join('')

@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShutdownDrainsSubscribers is the goroutine-leak regression test
+// for the SSE path: handlers parked on their subscriber channel must
+// drain when the server shuts down, and late subscribers must be turned
+// away instead of registering a channel nobody will ever close.
+func TestShutdownDrainsSubscribers(t *testing.T) {
+	s, ts := serveTestServer(t)
+
+	before := runtime.NumGoroutine()
+	const clients = 4
+	done := make(chan struct{}, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			resp, err := http.Get(ts.URL + "/events")
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			// Drain the replayed round, then block until the server ends
+			// the stream.
+			r := bufio.NewReader(resp.Body)
+			for {
+				if _, err := r.ReadString('\n'); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	// Wait until all clients are registered and parked.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.subMu.Lock()
+		n := len(s.subs)
+		s.subMu.Unlock()
+		if n == clients {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d subscribers registered", n, clients)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	s.Shutdown()
+	for i := 0; i < clients; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("SSE client still blocked after Shutdown")
+		}
+	}
+	s.subMu.Lock()
+	if len(s.subs) != 0 {
+		t.Fatalf("%d subscribers survived Shutdown", len(s.subs))
+	}
+	s.subMu.Unlock()
+
+	// A subscriber arriving after Shutdown is refused, not leaked.
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown subscribe: %d, want 503", resp.StatusCode)
+	}
+
+	// Shutdown is idempotent.
+	s.Shutdown()
+
+	// The handler goroutines (and their net plumbing) wind down to the
+	// pre-subscription level. Idle client-side keep-alive connections
+	// hold goroutines too, so they are evicted while polling.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		if runtime.NumGoroutine() <= before+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after shutdown", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPprofMountedOnlyWhenEnabled(t *testing.T) {
+	cfg := lossyCfg(1)
+
+	plain := NewServer(cfg, false)
+	tsPlain := httptest.NewServer(plain.Handler())
+	defer tsPlain.Close()
+	if code, _ := get(t, tsPlain.URL+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without -pprof: %d, want 404", code)
+	}
+
+	prof := NewServer(cfg, false)
+	prof.Pprof = true
+	tsProf := httptest.NewServer(prof.Handler())
+	defer tsProf.Close()
+	code, body := get(t, tsProf.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ with -pprof: %d", code)
+	}
+	if code, _ := get(t, tsProf.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+	// The other endpoints still work with pprof mounted.
+	if code, _ := get(t, tsProf.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz with pprof: %d", code)
+	}
+}
+
+func TestMetricsIncludePhasesAndResources(t *testing.T) {
+	_, ts := serveTestServer(t)
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE fleet_phase_seconds gauge",
+		`fleet_phase_seconds{phase="build"}`,
+		`fleet_phase_seconds{phase="devices"}`,
+		`fleet_phase_seconds{phase="channel"}`,
+		`fleet_phase_seconds{phase="gateway"}`,
+		`fleet_phase_seconds{phase="telemetry"}`,
+		"fleet_resource_heap_inuse_bytes",
+		"fleet_resource_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%.2000s", want, body)
+		}
+	}
+}

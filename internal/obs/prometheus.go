@@ -34,7 +34,7 @@ func (g *Registry) WritePrometheusLabeled(w io.Writer, labels map[string]string)
 	}
 	for _, k := range sortedKeys(g.gauges) {
 		name := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %s\n", name, name, base, promFloat(g.gauges[k])); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %s\n", name, name, base, promFloat(g.gauges[k].Value())); err != nil {
 			return err
 		}
 	}

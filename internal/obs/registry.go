@@ -16,7 +16,7 @@ import (
 // Not safe for concurrent use; every machine/runtime owns its own.
 type Registry struct {
 	counters map[string]*int64
-	gauges   map[string]float64
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -24,9 +24,35 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*int64{},
-		gauges:   map[string]float64{},
+		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 	}
+}
+
+// Gauge is a settable instantaneous value — the metric shape for things
+// that go up and down (heap in use, goroutine count, phase seconds).
+// Like counters, hot paths hold the *Gauge from GaugeRef and mutate it
+// directly instead of re-resolving the name per sample.
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return g.v }
+
+// GaugeRef returns a stable handle to a named gauge, creating it at zero
+// first — the gauge analogue of CounterRef.
+func (g *Registry) GaugeRef(name string) *Gauge {
+	ga, ok := g.gauges[name]
+	if !ok {
+		ga = &Gauge{}
+		g.gauges[name] = ga
+	}
+	return ga
 }
 
 // CounterRef returns a stable pointer to a counter's cell, creating it
@@ -57,10 +83,15 @@ func (g *Registry) Counter(name string) int64 {
 }
 
 // SetGauge sets a gauge to v.
-func (g *Registry) SetGauge(name string, v float64) { g.gauges[name] = v }
+func (g *Registry) SetGauge(name string, v float64) { g.GaugeRef(name).Set(v) }
 
 // Gauge reads a gauge (0 if absent).
-func (g *Registry) Gauge(name string) float64 { return g.gauges[name] }
+func (g *Registry) Gauge(name string) float64 {
+	if ga, ok := g.gauges[name]; ok {
+		return ga.Value()
+	}
+	return 0
+}
 
 // RegisterHistogram creates a histogram with the given ascending upper
 // bucket bounds (an implicit +Inf bucket is appended). Re-registering an
@@ -98,7 +129,7 @@ func (g *Registry) Merge(other *Registry) error {
 		*g.CounterRef(k) += *v
 	}
 	for k, v := range other.gauges {
-		g.gauges[k] += v
+		g.GaugeRef(k).Add(v.Value())
 	}
 	for k, oh := range other.hists {
 		h, ok := g.hists[k]
@@ -129,7 +160,7 @@ func (g *Registry) Dump(w io.Writer) {
 		fmt.Fprintf(w, "counter %-32s %d\n", k, *g.counters[k])
 	}
 	for _, k := range sortedKeys(g.gauges) {
-		fmt.Fprintf(w, "gauge   %-32s %g\n", k, g.gauges[k])
+		fmt.Fprintf(w, "gauge   %-32s %g\n", k, g.gauges[k].Value())
 	}
 	hk := make([]string, 0, len(g.hists))
 	for k := range g.hists {
