@@ -16,7 +16,8 @@
 //	ticsbench -sweep                          # fleet scaling sweep, merge into BENCH_fleet.json
 //	ticsbench -sweep -sweep-n 100,1000 -sweep-out /tmp/b.json
 //	ticsbench -validate BENCH_fleet.json      # schema check
-//	ticsbench -compare old.json new.json      # regression gate (exit 1 on regression)
+//	ticsbench -compare old.json new.json      # regression gate (exit 1 on regression):
+//	                                          #   devices/sec, bytes/device, peak RSS, ns/instr
 //	ticsbench -compare -tolerance 0.4 -report-only old.json new.json
 //
 // (Flags go before the two file arguments: standard-library flag

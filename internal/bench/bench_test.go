@@ -177,6 +177,29 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareGatesBytesPerDevice: per-device footprint regressions are
+// gated like throughput; missing measurements and improvements are not.
+func TestCompareGatesBytesPerDevice(t *testing.T) {
+	old, new := twoLedgers()
+	new.Fleet["n=1000"].BytesPerDevice = sampleEntry(1000).BytesPerDevice * 2
+	regs := Compare(old, new, 0, nil)
+	if len(regs) != 1 || regs[0].Metric != "bytes_per_device" || regs[0].Key != "n=1000" {
+		t.Fatalf("regs %v, want one bytes_per_device regression", regs)
+	}
+	if regs[0].DeltaPct <= 0 {
+		t.Fatalf("delta not positive-is-worse: %v", regs[0])
+	}
+
+	new.Fleet["n=1000"].BytesPerDevice = 0 // unmeasured on one side: skipped
+	if regs := Compare(old, new, 0, nil); len(regs) != 0 {
+		t.Fatalf("unmeasured bytes/device flagged %v", regs)
+	}
+	new.Fleet["n=1000"].BytesPerDevice = 100 // improvement: never a regression
+	if regs := Compare(old, new, 0, nil); len(regs) != 0 {
+		t.Fatalf("improvement flagged %v", regs)
+	}
+}
+
 func TestCompareSkipsMismatchedHosts(t *testing.T) {
 	old, new := twoLedgers()
 	new.Fleet["n=1000"].Best.DevicesPerSec = 1 // would be a huge regression

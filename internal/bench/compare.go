@@ -62,6 +62,17 @@ func Compare(old, new *File, tolerance float64, warnings io.Writer) []Regression
 				DeltaPct: 100 * (oe.Best.DevicesPerSec - ne.Best.DevicesPerSec) / oe.Best.DevicesPerSec,
 			})
 		}
+		// Higher bytes/device is worse: per-device footprint is the wall
+		// between today's fleets and 10⁶ devices, so its regressions gate
+		// like throughput does. Only gated when both sides measured it.
+		if oe.BytesPerDevice > 0 && ne.BytesPerDevice > 0 &&
+			ne.BytesPerDevice > oe.BytesPerDevice*(1+tolerance) {
+			regs = append(regs, Regression{
+				Key: key, Metric: "bytes_per_device",
+				Old: oe.BytesPerDevice, New: ne.BytesPerDevice,
+				DeltaPct: 100 * (ne.BytesPerDevice - oe.BytesPerDevice) / oe.BytesPerDevice,
+			})
+		}
 		// Higher peak RSS is worse. Only gate when both sides measured it
 		// the same way (per-entry resets vs monotone-across-sweep are not
 		// comparable).

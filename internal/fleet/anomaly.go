@@ -136,7 +136,7 @@ func DetectAnomalies(rep *Report, k float64) []Anomaly {
 		if res.Completed || res.Cycles == 0 {
 			continue
 		}
-		if res.TotalCheckpoints == 0 && len(res.SendLog) == 0 {
+		if res.TotalCheckpoints == 0 && rep.Outcomes[i].Sends == 0 {
 			out = append(out, Anomaly{Dev: i, Kind: AnomalyLivelock,
 				Value: float64(res.Cycles), Threshold: 0,
 				Detail: fmt.Sprintf("%d cycles, %d failures, 0 commits", res.Cycles, res.Failures)})

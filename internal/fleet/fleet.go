@@ -77,6 +77,18 @@ type Config struct {
 	// AnomalyK is the MAD multiplier of the outlier pass (0 = the
 	// DefaultAnomalyK modified-z-score cut).
 	AnomalyK float64
+
+	// Wave is the number of devices simulated between streaming channel
+	// handoffs (0 = automatic). Each wave's send logs are transmitted and
+	// released before the next wave runs, and pooled machines are reset
+	// and reused across waves, so live per-device state is bounded by one
+	// wave regardless of fleet size. Every externally visible result is
+	// byte-identical for any Wave value.
+	Wave int
+	// DisablePool builds a fresh machine for every device instead of
+	// resetting pooled ones — the escape hatch the pooled-reuse
+	// equivalence test compares against.
+	DisablePool bool
 }
 
 // DeviceSeed derives device i's seed from the fleet seed with a
@@ -134,12 +146,19 @@ func (c Config) clock() string {
 	return c.Clock
 }
 
-// DeviceOutcome is one device's run, collected by index.
+// DeviceOutcome is one device's run, collected by index. Res.SendLog is
+// consumed by the streaming channel pass and freed as the device's wave
+// completes; Sends keeps the raw-radio packet count it had.
 type DeviceOutcome struct {
-	ID   int
-	Seed uint64
-	Res  vm.Result
-	Err  error
+	ID    int
+	Seed  uint64
+	Sends int // packets the device offered to the radio (len of the consumed SendLog)
+	// UniqueSends is the count of distinct committed sequence numbers
+	// among them; seqs are contiguous from 0, so the device's packets
+	// carried exactly seqs [0, UniqueSends).
+	UniqueSends int
+	Res         vm.Result
+	Err         error
 }
 
 // Report is a fleet run's aggregate result.
@@ -198,11 +217,23 @@ type Report struct {
 	registries []*obs.Registry
 }
 
-// GatewayLog returns the accepted deliveries in observation order.
-func (r *Report) GatewayLog() []Delivery { return r.gw.Log() }
+// GatewayLog returns the accepted deliveries in observation order (nil
+// for a Report without a live gateway, e.g. one decoded from JSON).
+func (r *Report) GatewayLog() []Delivery {
+	if r.gw == nil {
+		return nil
+	}
+	return r.gw.Log()
+}
 
-// DeviceLog returns the deliveries the gateway attributed to device dev.
-func (r *Report) DeviceLog(dev int) []Delivery { return r.gw.DeviceLog(dev) }
+// DeviceLog returns the deliveries the gateway attributed to device dev
+// (nil for a Report without a live gateway).
+func (r *Report) DeviceLog(dev int) []Delivery {
+	if r.gw == nil {
+		return nil
+	}
+	return r.gw.DeviceLog(dev)
+}
 
 // DeviceRegistry returns device dev's own metrics registry (nil unless
 // the fleet ran with Collect).
@@ -213,8 +244,43 @@ func (r *Report) DeviceRegistry(dev int) *obs.Registry {
 	return r.registries[dev]
 }
 
-// Run simulates the fleet: devices in parallel on the pool, then the
-// deterministic single-threaded channel → gateway → merge post-pass.
+// waveSize returns the number of devices simulated between streaming
+// channel handoffs: small enough to bound the live send logs, large
+// enough that the per-wave pool barrier is noise against device runtime.
+func (c Config) waveSize(workers int) int {
+	if c.Wave > 0 {
+		return c.Wave
+	}
+	w := 256 * workers
+	if w < 1024 {
+		w = 1024
+	}
+	return w
+}
+
+// uniqueSends counts the distinct sequence numbers in a device's send
+// log without allocating: committed seqs are contiguous from 0 and a
+// rollback can only rewind the counter, so the distinct count is the
+// running frontier max(seq)+1. Pinned against the map-based count by
+// TestUniqueSendsMatchesSet.
+func uniqueSends(log []vm.SendRec) int64 {
+	var u int64
+	for i := range log {
+		if log[i].Seq >= u {
+			u = log[i].Seq + 1
+		}
+	}
+	return u
+}
+
+// Run simulates the fleet wave by wave: each wave's devices execute in
+// parallel on the worker pool — machines drawn from a small reuse pool
+// and reset between devices — and the wave's send logs stream straight
+// into the deterministic single-threaded channel pass (and are released)
+// before the next wave starts. The gateway, telemetry and merge passes
+// then run once over all collected arrivals, so every externally visible
+// result stays byte-identical across worker counts, wave sizes, and
+// pooled-versus-fresh machines.
 func Run(cfg Config) (*Report, error) {
 	n := cfg.Devices
 	if n <= 0 {
@@ -226,8 +292,8 @@ func Run(cfg Config) (*Report, error) {
 	}
 	pc := newPhaseClock()
 	// Build once, share everywhere: the linked image is immutable after
-	// Build (machines copy it into their private memories), and it is by
-	// far the most expensive per-device setup cost.
+	// Build (machines fork its post-link snapshot copy-on-write), and it
+	// is by far the most expensive per-device setup cost.
 	pc.enter(PhaseBuild)
 	img, _, err := replay.BuildImage(cfg.DeviceSpec(0))
 	if err != nil {
@@ -243,25 +309,75 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Profile {
 		profiles = make([]obs.Profile, n)
 	}
-	pc.enter(PhaseDevices)
-	start := time.Now()
-	ParallelFor(n, workers, func(i int) {
-		outcomes[i] = runDevice(img, cfg, i, registries, profiles)
-	})
-	elapsed := time.Since(start).Seconds()
+
+	// The machine pool holds one slot per worker; nil slots materialize
+	// lazily into machines on first claim and are reset between devices.
+	var pool chan *vm.Machine
+	if !cfg.DisablePool {
+		pool = make(chan *vm.Machine, workers)
+		for i := 0; i < workers; i++ {
+			pool <- nil
+		}
+	}
 
 	rep := &Report{
 		Devices:    n,
 		Workers:    workers,
 		Seed:       cfg.Seed,
-		Elapsed:    elapsed,
 		Outcomes:   outcomes,
 		registries: registries,
 	}
-	for i := range outcomes {
-		if outcomes[i].Err != nil {
-			return nil, fmt.Errorf("fleet: device %d: %w", i, outcomes[i].Err)
+	var tel *Telemetry
+	if cfg.Trace {
+		tel = NewTelemetry(n, cfg.FreshnessMs)
+	}
+	var arrivals []Arrival
+	var elapsed float64
+	wave := cfg.waveSize(workers)
+	for lo := 0; lo < n; lo += wave {
+		hi := lo + wave
+		if hi > n {
+			hi = n
 		}
+		pc.enter(PhaseDevices)
+		start := time.Now()
+		ParallelFor(hi-lo, workers, func(k int) {
+			i := lo + k
+			var m *vm.Machine
+			if pool != nil {
+				m = <-pool
+			}
+			outcomes[i], m = runDevice(img, cfg, i, m, registries, profiles)
+			if pool != nil {
+				pool <- m
+			}
+		})
+		elapsed += time.Since(start).Seconds()
+		for i := lo; i < hi; i++ {
+			if outcomes[i].Err != nil {
+				return nil, fmt.Errorf("fleet: device %d: %w", i, outcomes[i].Err)
+			}
+		}
+
+		// Streaming handoff: this wave's send logs feed the channel pass
+		// in device order — the same total order as one big post-pass —
+		// and are dropped before the next wave materializes its own. The
+		// channel phase accumulates across re-entries.
+		pc.enter(PhaseChannel)
+		for i := lo; i < hi; i++ {
+			log := outcomes[i].Res.SendLog
+			outcomes[i].Sends = len(log)
+			outcomes[i].UniqueSends = int(uniqueSends(log))
+			rep.Sends += int64(len(log))
+			rep.UniqueSends += int64(outcomes[i].UniqueSends)
+			devArr, st := transmit(i, DeviceSeed(cfg.Seed, i), cfg.Link, log, tel)
+			rep.Link.add(st)
+			arrivals = append(arrivals, devArr...)
+			outcomes[i].Res.SendLog = nil
+		}
+	}
+	rep.Elapsed = elapsed
+	for i := range outcomes {
 		res := &outcomes[i].Res
 		rep.TotalCycles += res.Cycles
 		switch {
@@ -279,29 +395,10 @@ func Run(cfg Config) (*Report, error) {
 		rep.Throughput = float64(rep.TotalCycles) / elapsed
 	}
 
-	// Deterministic post-pass: channel, gateway and telemetry run
-	// single-threaded over per-device logs in device order, so neither
-	// the digest nor any span chain can depend on how the pool scheduled
-	// the device phase.
-	var tel *Telemetry
-	if cfg.Trace {
-		tel = NewTelemetry(n, cfg.FreshnessMs)
-	}
+	// Deterministic post-pass: the gateway consumes the globally sorted
+	// arrival order, so neither the digest nor any span chain can depend
+	// on how the pool scheduled the device waves.
 	gw := NewGateway(cfg.FreshnessMs)
-	pc.enter(PhaseChannel)
-	var arrivals []Arrival
-	for i := range outcomes {
-		log := outcomes[i].Res.SendLog
-		rep.Sends += int64(len(log))
-		seqs := map[int64]struct{}{}
-		for _, rec := range log {
-			seqs[rec.Seq] = struct{}{}
-		}
-		rep.UniqueSends += int64(len(seqs))
-		devArr, st := transmit(i, DeviceSeed(cfg.Seed, i), cfg.Link, log, tel)
-		rep.Link.add(st)
-		arrivals = append(arrivals, devArr...)
-	}
 	pc.enter(PhaseGateway)
 	SortArrivals(arrivals)
 	for _, a := range arrivals {
@@ -358,33 +455,37 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// runDevice executes one device with fully private state: its own
-// machine and runtime instance, its own seeded power source, sensor
-// bank and clock, and (when collecting) its own recorder. Nothing here
-// may touch state shared with another device — the -race fleet test
-// enforces it.
-func runDevice(img *tics.Image, cfg Config, dev int, registries []*obs.Registry, profiles []obs.Profile) DeviceOutcome {
+// runDevice executes one device with fully private run state: its own
+// seeded power source, sensor bank, clock, and (when collecting) its own
+// recorder. The machine itself may be a pooled one handed in from a
+// previous device — it is reset to a fresh fork of the shared image
+// before running, which is indistinguishable from a new machine. The
+// (possibly newly created) machine is returned for the pool. Nothing
+// here may touch state shared with another in-flight device — the -race
+// fleet test enforces it.
+func runDevice(img *tics.Image, cfg Config, dev int, m *vm.Machine, registries []*obs.Registry, profiles []obs.Profile) (DeviceOutcome, *vm.Machine) {
 	seed := DeviceSeed(cfg.Seed, dev)
 	out := DeviceOutcome{ID: dev, Seed: seed}
 	src, err := replay.ParsePower(cfg.power(), seed)
 	if err != nil {
 		out.Err = err
-		return out
+		return out, m
 	}
 	clock, err := replay.ParseClock(cfg.clock(), seed)
 	if err != nil {
 		out.Err = err
-		return out
+		return out, m
 	}
 	var rec *obs.Recorder
 	if registries != nil {
 		// A small ring: fleet aggregation wants the metrics (and, with
 		// Profile, the folded stacks), not the event history (export a
-		// device to replay for that).
+		// device to replay for that). Recorders are not pooled: the
+		// per-device registries outlive the run in Report.DeviceRegistry.
 		rec = obs.NewRecorder(obs.Options{RingCap: 64, Profile: profiles != nil})
 		registries[dev] = rec.Metrics()
 	}
-	m, err := tics.NewMachine(img, tics.RunOptions{
+	opts := tics.RunOptions{
 		Power:           src,
 		Clock:           clock,
 		Sensors:         sensors.NewBank(seed),
@@ -393,10 +494,15 @@ func runDevice(img *tics.Image, cfg Config, dev int, registries []*obs.Registry,
 		MaxCycles:       cfg.MaxCycles,
 		VirtualizeSends: cfg.Virtualize,
 		Recorder:        rec,
-	})
-	if err != nil {
+	}
+	if m == nil {
+		if m, err = tics.NewMachine(img, opts); err != nil {
+			out.Err = err
+			return out, nil
+		}
+	} else if err = tics.ResetMachine(m, img, opts); err != nil {
 		out.Err = err
-		return out
+		return out, nil
 	}
 	res, runErr := m.Run()
 	out.Res = res
@@ -409,7 +515,7 @@ func runDevice(img *tics.Image, cfg Config, dev int, registries []*obs.Registry,
 	// A program fault is a device outcome, not a fleet error; it is
 	// already folded into Res.Fault. Only setup errors abort the fleet.
 	_ = runErr
-	return out
+	return out, m
 }
 
 // ExportDevice records device dev of the fleet as a replay manifest —

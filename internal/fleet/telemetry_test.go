@@ -43,15 +43,20 @@ func TestTelemetrySpanChainComplete(t *testing.T) {
 	}
 
 	// Every send in every device's log has a trace with at least one
-	// emit and one attempt.
+	// emit and one attempt. Send logs are consumed by the streaming
+	// channel pass, but committed seqs are contiguous from 0, so the
+	// device's packets carried exactly seqs [0, UniqueSends).
 	for dev, out := range rep.Outcomes {
-		for _, rec := range out.Res.SendLog {
-			tr := tel.Trace(dev, rec.Seq)
+		if out.Sends > 0 && out.UniqueSends == 0 {
+			t.Fatalf("device %d: %d sends but no unique seqs", dev, out.Sends)
+		}
+		for seq := int64(0); seq < int64(out.UniqueSends); seq++ {
+			tr := tel.Trace(dev, seq)
 			if tr == nil {
-				t.Fatalf("device %d seq %d: no trace", dev, rec.Seq)
+				t.Fatalf("device %d seq %d: no trace", dev, seq)
 			}
 			if len(tr.Emits) == 0 || len(tr.Attempts) == 0 {
-				t.Fatalf("device %d seq %d: incomplete chain: %+v", dev, rec.Seq, tr)
+				t.Fatalf("device %d seq %d: incomplete chain: %+v", dev, seq, tr)
 			}
 		}
 	}

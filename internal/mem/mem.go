@@ -9,10 +9,24 @@
 // The package also provides the region table used by the linker to lay out
 // the runtime area, .text, .data, .bss and stack, and gathers access
 // statistics used by the experiment harnesses.
+//
+// # Copy-on-write forks
+//
+// A fleet simulates many devices running one image; their memories differ
+// only where runtime state diverges. Memory is therefore paged: the 64 KB
+// space is 64 pages of 1 KB, and a Memory is a page table. A flat memory
+// (New) owns all of its pages. A forked memory (Fork) starts with every
+// page-table entry pointing into one immutable Base snapshot shared by all
+// forks, and materializes a private copy of a page on first write. Reads
+// and writes go through the same page-table indexing in both modes, so
+// flat and forked memories have identical semantics — bounds checks,
+// panics, and access statistics included.
 package mem
 
 import (
+	"bytes"
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -24,6 +38,21 @@ const Size = 64 * 1024
 // widen the word to 32 bits so that millisecond timestamps fit in a plain
 // int (see DESIGN.md), while keeping the 64 KB address space.
 const WordBytes = 4
+
+// PageShift selects 1 KB pages: small enough that a device touching a few
+// hundred bytes of globals plus a stack segment materializes only a
+// handful of pages, large enough that the whole space is NumPages = 64
+// pages and the dirty set fits one uint64.
+const (
+	PageShift = 10
+	PageSize  = 1 << PageShift
+	pageMask  = PageSize - 1
+	NumPages  = Size / PageSize
+)
+
+// The dirty set is a single uint64 bitmask; a page-size change that breaks
+// that invariant must not compile.
+const _ uint64 = 1 << (NumPages - 1)
 
 // RegionKind classifies a layout region.
 type RegionKind int
@@ -86,15 +115,98 @@ type Stats struct {
 	WriteBytes uint64
 }
 
-// Memory is the simulated non-volatile main memory.
+// Base is an immutable full-memory snapshot that forked memories share.
+// Once created it must never be written; every Memory that forks from it
+// reads shared pages directly out of its data.
+type Base struct {
+	data    []byte // len Size
+	regions []Region
+}
+
+func (b *Base) page(i int) []byte {
+	return b.data[i*PageSize : (i+1)*PageSize : (i+1)*PageSize]
+}
+
+// Memory is the simulated non-volatile main memory: a page table over
+// 64 × 1 KB pages. Every entry is always non-nil — it points either into
+// the shared base snapshot (bit clear in dirty) or at a private, writable
+// page (bit set). A flat memory owns all pages from the start.
 type Memory struct {
-	data    [Size]byte
+	pages   [NumPages][]byte
+	dirty   uint64 // bit i set: pages[i] is private and writable
+	base    *Base  // nil for flat memories
 	regions []Region
 	stats   Stats
 }
 
-// New returns a zeroed memory with no layout regions.
-func New() *Memory { return &Memory{} }
+// New returns a zeroed flat memory with no layout regions. All pages are
+// private slices of one contiguous allocation.
+func New() *Memory {
+	m := &Memory{dirty: ^uint64(0)}
+	buf := make([]byte, Size)
+	for i := range m.pages {
+		m.pages[i] = buf[i*PageSize : (i+1)*PageSize : (i+1)*PageSize]
+	}
+	return m
+}
+
+// Freeze captures the current contents and region table as an immutable
+// Base for Fork. The linker calls this once per image, after loading.
+func (m *Memory) Freeze() *Base {
+	return &Base{data: m.Snapshot(), regions: m.Regions()}
+}
+
+// Fork returns a copy-on-write view of base: every page-table entry
+// references the shared snapshot, and a private page is materialized only
+// on the first write to it. The fork inherits base's region table.
+func Fork(b *Base) *Memory {
+	m := &Memory{base: b}
+	for i := range m.pages {
+		m.pages[i] = b.page(i)
+	}
+	m.regions = append([]Region(nil), b.regions...)
+	return m
+}
+
+// ResetToBase rebinds the memory to b's contents, regions, and zeroed
+// stats, as if freshly forked. When the memory already forks from b, its
+// private pages are refilled from the snapshot rather than released: a
+// pooled device re-running the same image dirties the same pages, so
+// keeping them avoids reallocating on every reuse.
+func (m *Memory) ResetToBase(b *Base) {
+	if m.base == b && b != nil {
+		for d := m.dirty; d != 0; d &= d - 1 {
+			i := bits.TrailingZeros64(d)
+			copy(m.pages[i], b.page(i))
+		}
+	} else {
+		m.base = b
+		for i := range m.pages {
+			m.pages[i] = b.page(i)
+		}
+		m.dirty = 0
+	}
+	m.regions = append(m.regions[:0], b.regions...)
+	m.stats = Stats{}
+}
+
+// PrivatePages returns how many pages the memory owns rather than shares
+// with a base (always NumPages for a flat memory).
+func (m *Memory) PrivatePages() int { return bits.OnesCount64(m.dirty) }
+
+// wpage returns page pg as a writable slice, materializing a private copy
+// of a shared page first.
+func (m *Memory) wpage(pg uint32) []byte {
+	p := m.pages[pg]
+	if m.dirty&(1<<pg) == 0 {
+		np := make([]byte, PageSize)
+		copy(np, p)
+		m.pages[pg] = np
+		m.dirty |= 1 << pg
+		p = np
+	}
+	return p
+}
 
 // Stats returns a copy of the accumulated access statistics.
 func (m *Memory) Stats() Stats { return m.stats }
@@ -156,12 +268,42 @@ func (m *Memory) check(addr uint32, n int, what string) {
 	}
 }
 
+// peekRange copies len(b) bytes starting at addr into b, page by page,
+// without stats. Callers bounds-check first.
+func (m *Memory) peekRange(addr uint32, b []byte) {
+	for len(b) > 0 {
+		c := copy(b, m.pages[addr>>PageShift][addr&pageMask:])
+		addr += uint32(c)
+		b = b[c:]
+	}
+}
+
+// pokeRange stores b starting at addr, page by page, without stats,
+// materializing pages as needed. A shared page that is overwritten in
+// full skips the materializing copy. Callers bounds-check first.
+func (m *Memory) pokeRange(addr uint32, b []byte) {
+	for len(b) > 0 {
+		pg, off := addr>>PageShift, addr&pageMask
+		var p []byte
+		if off == 0 && len(b) >= PageSize && m.dirty&(1<<pg) == 0 {
+			p = make([]byte, PageSize)
+			m.pages[pg] = p
+			m.dirty |= 1 << pg
+		} else {
+			p = m.wpage(pg)
+		}
+		c := copy(p[off:], b)
+		addr += uint32(c)
+		b = b[c:]
+	}
+}
+
 // ReadByte reads one byte.
 func (m *Memory) ReadByteAt(addr uint32) byte {
 	m.check(addr, 1, "read")
 	m.stats.Reads++
 	m.stats.ReadBytes++
-	return m.data[addr]
+	return m.pages[addr>>PageShift][addr&pageMask]
 }
 
 // WriteByte writes one byte.
@@ -169,7 +311,7 @@ func (m *Memory) WriteByteAt(addr uint32, v byte) {
 	m.check(addr, 1, "write")
 	m.stats.Writes++
 	m.stats.WriteBytes++
-	m.data[addr] = v
+	m.wpage(addr >> PageShift)[addr&pageMask] = v
 }
 
 // ReadWord reads a 32-bit little-endian word.
@@ -177,8 +319,18 @@ func (m *Memory) ReadWord(addr uint32) uint32 {
 	m.check(addr, WordBytes, "read")
 	m.stats.Reads++
 	m.stats.ReadBytes += WordBytes
-	return uint32(m.data[addr]) | uint32(m.data[addr+1])<<8 |
-		uint32(m.data[addr+2])<<16 | uint32(m.data[addr+3])<<24
+	return m.peekWord(addr)
+}
+
+func (m *Memory) peekWord(addr uint32) uint32 {
+	if off := addr & pageMask; off <= PageSize-WordBytes {
+		p := m.pages[addr>>PageShift]
+		return uint32(p[off]) | uint32(p[off+1])<<8 |
+			uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+	}
+	var b [WordBytes]byte
+	m.peekRange(addr, b[:])
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
 // WriteWord writes a 32-bit little-endian word.
@@ -186,10 +338,17 @@ func (m *Memory) WriteWord(addr uint32, v uint32) {
 	m.check(addr, WordBytes, "write")
 	m.stats.Writes++
 	m.stats.WriteBytes += WordBytes
-	m.data[addr] = byte(v)
-	m.data[addr+1] = byte(v >> 8)
-	m.data[addr+2] = byte(v >> 16)
-	m.data[addr+3] = byte(v >> 24)
+	if off := addr & pageMask; off <= PageSize-WordBytes {
+		p := m.wpage(addr >> PageShift)
+		p[off] = byte(v)
+		p[off+1] = byte(v >> 8)
+		p[off+2] = byte(v >> 16)
+		p[off+3] = byte(v >> 24)
+		return
+	}
+	var b [WordBytes]byte
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	m.pokeRange(addr, b[:])
 }
 
 // ReadInt reads a word as a signed 32-bit integer.
@@ -204,7 +363,7 @@ func (m *Memory) ReadBytes(addr uint32, n int) []byte {
 	m.stats.Reads++
 	m.stats.ReadBytes += uint64(n)
 	out := make([]byte, n)
-	copy(out, m.data[addr:int(addr)+n])
+	m.peekRange(addr, out)
 	return out
 }
 
@@ -213,12 +372,12 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) {
 	m.check(addr, len(b), "write")
 	m.stats.Writes++
 	m.stats.WriteBytes += uint64(len(b))
-	copy(m.data[addr:int(addr)+len(b)], b)
+	m.pokeRange(addr, b)
 }
 
 // CopyWithin copies n bytes from src to dst inside the address space,
 // counting both the read and the write traffic. Used by checkpoint commits
-// and stack-segment moves.
+// and stack-segment moves. Overlapping ranges behave like memmove.
 func (m *Memory) CopyWithin(dst, src uint32, n int) {
 	m.check(src, n, "read")
 	m.check(dst, n, "write")
@@ -226,16 +385,68 @@ func (m *Memory) CopyWithin(dst, src uint32, n int) {
 	m.stats.Writes++
 	m.stats.ReadBytes += uint64(n)
 	m.stats.WriteBytes += uint64(n)
-	copy(m.data[dst:int(dst)+n], m.data[src:int(src)+n])
+	if n <= 0 || dst == src {
+		return
+	}
+	if dst < src {
+		for n > 0 {
+			doff, soff := dst&pageMask, src&pageMask
+			c := n
+			if r := int(PageSize - doff); r < c {
+				c = r
+			}
+			if r := int(PageSize - soff); r < c {
+				c = r
+			}
+			copy(m.wpage(dst >> PageShift)[doff:doff+uint32(c)],
+				m.pages[src>>PageShift][soff:soff+uint32(c)])
+			dst += uint32(c)
+			src += uint32(c)
+			n -= c
+		}
+		return
+	}
+	// Copy backward so an overlapping forward-shifted range is not
+	// clobbered before it is read.
+	de, se := dst+uint32(n), src+uint32(n)
+	for n > 0 {
+		dstart := (de - 1) &^ pageMask
+		sstart := (se - 1) &^ pageMask
+		c := n
+		if r := int(de - dstart); r < c {
+			c = r
+		}
+		if r := int(se - sstart); r < c {
+			c = r
+		}
+		copy(m.wpage(dstart >> PageShift)[de-uint32(c)-dstart:de-dstart],
+			m.pages[sstart>>PageShift][se-uint32(c)-sstart:se-sstart])
+		de -= uint32(c)
+		se -= uint32(c)
+		n -= c
+	}
 }
 
-// Zero clears n bytes starting at addr.
+// Zero clears n bytes starting at addr. A shared page zeroed in full is
+// replaced by a fresh private page without copying the old contents.
 func (m *Memory) Zero(addr uint32, n int) {
 	m.check(addr, n, "write")
 	m.stats.Writes++
 	m.stats.WriteBytes += uint64(n)
-	for i := 0; i < n; i++ {
-		m.data[int(addr)+i] = 0
+	for n > 0 {
+		pg, off := addr>>PageShift, addr&pageMask
+		c := int(PageSize - off)
+		if c > n {
+			c = n
+		}
+		if off == 0 && c == PageSize && m.dirty&(1<<pg) == 0 {
+			m.pages[pg] = make([]byte, PageSize)
+			m.dirty |= 1 << pg
+		} else {
+			clear(m.wpage(pg)[off : off+uint32(c)])
+		}
+		addr += uint32(c)
+		n -= c
 	}
 }
 
@@ -244,29 +455,38 @@ func (m *Memory) Zero(addr uint32, n int) {
 // watching a run cannot perturb the run's own traffic accounting.
 func (m *Memory) Peek(addr uint32, b []byte) {
 	m.check(addr, len(b), "peek")
-	copy(b, m.data[addr:int(addr)+len(b)])
+	m.peekRange(addr, b)
 }
 
 // PeekWord reads a 32-bit little-endian word without touching the access
 // statistics.
 func (m *Memory) PeekWord(addr uint32) uint32 {
 	m.check(addr, WordBytes, "peek")
-	return uint32(m.data[addr]) | uint32(m.data[addr+1])<<8 |
-		uint32(m.data[addr+2])<<16 | uint32(m.data[addr+3])<<24
+	return m.peekWord(addr)
 }
 
 // Snapshot returns a copy of the full memory contents. Tests use snapshots
 // to compare intermittent executions against the continuous-power oracle.
 func (m *Memory) Snapshot() []byte {
 	out := make([]byte, Size)
-	copy(out[:], m.data[:])
+	for i, p := range m.pages {
+		copy(out[i*PageSize:], p)
+	}
 	return out
 }
 
-// Restore overwrites the full memory contents from a snapshot.
+// Restore overwrites the full memory contents from a snapshot. On a forked
+// memory, a shared page whose snapshot bytes already match stays shared —
+// restoring a snapshot taken before the fork diverged keeps the fork cheap.
 func (m *Memory) Restore(snap []byte) {
 	if len(snap) != Size {
 		panic(fmt.Sprintf("mem: restore snapshot of %d bytes", len(snap)))
 	}
-	copy(m.data[:], snap)
+	for i := range m.pages {
+		sp := snap[i*PageSize : (i+1)*PageSize]
+		if m.dirty&(1<<i) == 0 && bytes.Equal(m.pages[i], sp) {
+			continue
+		}
+		copy(m.wpage(uint32(i)), sp)
+	}
 }

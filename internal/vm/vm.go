@@ -150,12 +150,18 @@ type SensorBank interface {
 
 // Config assembles a machine.
 type Config struct {
-	Image   *link.Image
-	Cost    energy.CostModel
-	Power   power.Source
-	Clock   timekeeper.Keeper
-	Runtime Runtime
-	Sensors SensorBank
+	Image *link.Image
+	// Prepared shares one decoded program and one immutable post-link
+	// memory snapshot across many machines: with it set, New forks the
+	// snapshot copy-on-write instead of loading and decoding the image
+	// again. Image may be left nil (it is taken from Prepared) but must
+	// match Prepared.Img when both are set. Build one with Prepare.
+	Prepared *Prepared
+	Cost     energy.CostModel
+	Power    power.Source
+	Clock    timekeeper.Keeper
+	Runtime  Runtime
+	Sensors  SensorBank
 	// AutoCpPeriodMs enables timer-driven checkpoints with the given
 	// period (0 disables; the paper uses 10 ms).
 	AutoCpPeriodMs float64
@@ -265,6 +271,9 @@ type Machine struct {
 	outPending []outEntry
 
 	decoded map[uint32]decodedInstr
+	// prepared is the shared image this machine forked from (nil when the
+	// machine owns a privately loaded flat memory). Reset requires it.
+	prepared *Prepared
 
 	// rec is the attached flight recorder (nil when observability is off).
 	rec *obs.Recorder
@@ -281,11 +290,44 @@ type outEntry struct {
 	val int32
 }
 
-// New builds a machine, loads the image into a fresh memory and leaves it
-// ready to Run.
-func New(cfg Config) (*Machine, error) {
+// Prepared is the shareable, immutable part of a device: the decoded
+// program and the post-link memory snapshot. One Prepared serves any
+// number of machines concurrently — fleets fork thousands of devices from
+// a single one instead of re-loading and re-decoding the image per device.
+type Prepared struct {
+	Img     *link.Image
+	decoded map[uint32]decodedInstr
+	base    *mem.Base
+}
+
+// Prepare loads img into a scratch memory, freezes the result as the
+// copy-on-write base, and decodes the text segment once.
+func Prepare(img *link.Image) (*Prepared, error) {
+	if img == nil {
+		return nil, errors.New("vm: prepare needs an image")
+	}
+	scratch := mem.New()
+	if err := img.LoadInto(scratch); err != nil {
+		return nil, err
+	}
+	decoded, err := decodeImage(img)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Img: img, decoded: decoded, base: scratch.Freeze()}, nil
+}
+
+// normalize resolves the Prepared/Image pair and fills config defaults.
+func (cfg Config) normalize() (Config, error) {
+	if cfg.Prepared != nil {
+		if cfg.Image == nil {
+			cfg.Image = cfg.Prepared.Img
+		} else if cfg.Image != cfg.Prepared.Img {
+			return cfg, errors.New("vm: config image differs from the prepared image")
+		}
+	}
 	if cfg.Image == nil {
-		return nil, errors.New("vm: config needs an image")
+		return cfg, errors.New("vm: config needs an image")
 	}
 	if cfg.Power == nil {
 		cfg.Power = power.Continuous{}
@@ -305,27 +347,25 @@ func New(cfg Config) (*Machine, error) {
 	if (cfg.Cost == energy.CostModel{}) {
 		cfg.Cost = energy.Default()
 	}
-	m := &Machine{
-		Mem:             mem.New(),
-		Img:             cfg.Image,
-		Cost:            cfg.Cost,
-		rt:              cfg.Runtime,
-		powerSrc:        cfg.Power,
-		clock:           cfg.Clock,
-		sensors:         cfg.Sensors,
-		maxCycles:       cfg.MaxCycles,
-		maxFailures:     cfg.MaxFailures,
-		maxWallMs:       cfg.MaxWallMs,
-		virtualizeSends: cfg.VirtualizeSends,
-		OutLog:          map[int32][]int32{},
-		autoCpCycles:    int64(cfg.AutoCpPeriodMs * energy.CyclesPerMs),
-	}
-	if err := cfg.Image.LoadInto(m.Mem); err != nil {
-		return nil, err
-	}
-	if err := m.decodeText(); err != nil {
-		return nil, err
-	}
+	return cfg, nil
+}
+
+// apply installs a normalized config on a machine whose memory and
+// decoded program are already in place. Shared by New and Reset.
+func (m *Machine) apply(cfg Config) error {
+	m.Img = cfg.Image
+	m.Cost = cfg.Cost
+	m.rt = cfg.Runtime
+	m.powerSrc = cfg.Power
+	m.clock = cfg.Clock
+	m.sensors = cfg.Sensors
+	m.maxCycles = cfg.MaxCycles
+	m.maxFailures = cfg.MaxFailures
+	m.maxWallMs = cfg.MaxWallMs
+	m.virtualizeSends = cfg.VirtualizeSends
+	m.OutLog = map[int32][]int32{}
+	m.autoCpCycles = int64(cfg.AutoCpPeriodMs * energy.CyclesPerMs)
+	m.irqPeriodMs, m.irqEntry, m.nextIrqMs = 0, 0, 0
 	if cfg.InterruptPeriodMs > 0 {
 		name := cfg.ISRName
 		if name == "" {
@@ -335,7 +375,7 @@ func New(cfg Config) (*Machine, error) {
 		for _, f := range cfg.Image.Funcs {
 			if f.Name == name {
 				if f.NArgs != 0 {
-					return nil, fmt.Errorf("vm: ISR %s must take no arguments", name)
+					return fmt.Errorf("vm: ISR %s must take no arguments", name)
 				}
 				m.irqEntry = f.Entry
 				found = true
@@ -343,39 +383,102 @@ func New(cfg Config) (*Machine, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("vm: no ISR function %q in the image", name)
+			return fmt.Errorf("vm: no ISR function %q in the image", name)
 		}
 		m.irqPeriodMs = cfg.InterruptPeriodMs
 		m.nextIrqMs = m.onMs + m.irqPeriodMs
 	}
-	if cfg.Recorder != nil {
-		m.AttachRecorder(cfg.Recorder)
+	m.AttachRecorder(cfg.Recorder)
+	return nil
+}
+
+// New builds a machine and leaves it ready to Run. With cfg.Prepared it
+// forks the shared post-link snapshot copy-on-write and reuses the shared
+// decoded program; otherwise it loads the image into a fresh flat memory
+// and decodes it privately.
+func New(cfg Config) (*Machine, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{}
+	if cfg.Prepared != nil {
+		m.Mem = mem.Fork(cfg.Prepared.base)
+		m.decoded = cfg.Prepared.decoded
+		m.prepared = cfg.Prepared
+	} else {
+		m.Mem = mem.New()
+		if err := cfg.Image.LoadInto(m.Mem); err != nil {
+			return nil, err
+		}
+		if m.decoded, err = decodeImage(cfg.Image); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.apply(cfg); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
 
-func (m *Machine) decodeText() error {
-	m.decoded = make(map[uint32]decodedInstr)
-	code := m.Img.Text
+// Reset rebinds a machine built from a Prepared image for reuse: memory
+// returns to the post-link snapshot, every counter, log and volatile
+// register is cleared, and the (re-normalized) config is applied as New
+// would. The previous run's Result keeps ownership of the old SendLog and
+// OutLog; only the machine's references are dropped. cfg.Prepared must be
+// the machine's own prepared image.
+func (m *Machine) Reset(cfg Config) error {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	if m.prepared == nil || cfg.Prepared != m.prepared {
+		return errors.New("vm: Reset needs the machine's own prepared image")
+	}
+	m.Mem.ResetToBase(cfg.Prepared.base)
+	m.Regs = Registers{}
+	m.CpDisable = 0
+	m.ExpiryArmed, m.ExpiryDeadline, m.ExpiryCatchPC = false, 0, 0
+	m.remaining, m.pendingOffMs = 0, 0
+	m.cycles, m.sinceCp = 0, 0
+	m.onMs, m.offMs = 0, 0
+	m.failures = 0
+	m.halted, m.timedOut = false, false
+	m.OnStore, m.OnMark, m.OnCheckpoint, m.OnRestore = nil, nil, nil, nil
+	m.inISR, m.isrRetPC, m.isrRetSP = false, 0, 0
+	m.cpCounts = [cpKindCount]int64{}
+	m.restores, m.irqCount = 0, 0
+	m.SendLog = nil
+	m.sendPending = m.sendPending[:0]
+	m.sendSeq, m.sendSeqCommitted = 0, 0
+	m.outPending = m.outPending[:0]
+	return m.apply(cfg)
+}
+
+// decodeImage decodes the image's text segment into the instruction map
+// machines dispatch from.
+func decodeImage(img *link.Image) (map[uint32]decodedInstr, error) {
+	decoded := make(map[uint32]decodedInstr)
+	code := img.Text
 	for off := 0; off < len(code); {
 		in, next, err := isa.Decode(code, off)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		addr := m.Img.TextBase + uint32(off)
-		m.decoded[addr] = decodedInstr{in: in, next: m.Img.TextBase + uint32(next), fn: m.fnAt(addr)}
+		addr := img.TextBase + uint32(off)
+		decoded[addr] = decodedInstr{in: in, next: img.TextBase + uint32(next), fn: fnAt(img, addr)}
 		off = next
 	}
-	return nil
+	return decoded, nil
 }
 
 // fnAt resolves an instruction address to its enclosing function index
 // (-1 for the boot stub). Function bodies are laid out contiguously in
 // image order, so the enclosing function is the last one whose entry is
 // at or below addr.
-func (m *Machine) fnAt(addr uint32) int {
+func fnAt(img *link.Image, addr uint32) int {
 	fn := -1
-	for i, f := range m.Img.Funcs {
+	for i, f := range img.Funcs {
 		if f.Entry > addr {
 			break
 		}

@@ -16,6 +16,7 @@ package tics
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/baseline/chinchilla"
 	"repro/internal/baseline/mementos"
@@ -104,10 +105,29 @@ func (b BuildOptions) optLevel() int {
 
 // Image bundles a linked firmware image with a factory for its runtime
 // (runtimes are stateful, so every machine gets a fresh instance).
+//
+// The image lazily caches a vm.Prepared — one decoded program plus one
+// immutable post-link memory snapshot — that every machine built from it
+// shares; devices fork the snapshot copy-on-write instead of each loading
+// a private 64 KB copy. Images are therefore not copyable; pass *Image.
 type Image struct {
 	*link.Image
 	Kind       RuntimeKind
 	newRuntime func() (vm.Runtime, error)
+
+	prepOnce sync.Once
+	prep     *vm.Prepared
+	prepErr  error
+}
+
+// prepared returns the image's shared vm.Prepared, building it on first
+// use. Caching on the image (not in a global map keyed by image) keeps
+// long-running servers that build fresh images per round leak-free.
+func (img *Image) prepared() (*vm.Prepared, error) {
+	img.prepOnce.Do(func() {
+		img.prep, img.prepErr = vm.Prepare(img.Image)
+	})
+	return img.prep, img.prepErr
 }
 
 // Compile parses, checks and compiles TICS-C source without committing to
@@ -252,18 +272,15 @@ type RunOptions struct {
 	Recorder *obs.Recorder
 }
 
-// NewMachine instantiates a fresh device (fresh memory, fresh runtime
-// state) for the image.
-func NewMachine(img *Image, opts RunOptions) (*vm.Machine, error) {
-	rt, err := img.newRuntime()
-	if err != nil {
-		return nil, err
-	}
+// machineConfig maps RunOptions onto a vm.Config sharing the image's
+// prepared program; NewMachine and ResetMachine must build machines
+// identically, so they both go through here.
+func machineConfig(prep *vm.Prepared, rt vm.Runtime, opts RunOptions) vm.Config {
 	if opts.Sensors == nil {
 		opts.Sensors = sensors.NewBank(1)
 	}
-	return vm.New(vm.Config{
-		Image:             img.Image,
+	return vm.Config{
+		Prepared:          prep,
 		Power:             opts.Power,
 		Clock:             opts.Clock,
 		Runtime:           rt,
@@ -276,7 +293,38 @@ func NewMachine(img *Image, opts RunOptions) (*vm.Machine, error) {
 		ISRName:           opts.ISRName,
 		VirtualizeSends:   opts.VirtualizeSends,
 		Recorder:          opts.Recorder,
-	})
+	}
+}
+
+// NewMachine instantiates a fresh device (copy-on-write fork of the
+// image's post-link memory, fresh runtime state) for the image.
+func NewMachine(img *Image, opts RunOptions) (*vm.Machine, error) {
+	rt, err := img.newRuntime()
+	if err != nil {
+		return nil, err
+	}
+	prep, err := img.prepared()
+	if err != nil {
+		return nil, err
+	}
+	return vm.New(machineConfig(prep, rt, opts))
+}
+
+// ResetMachine rebinds a machine previously built by NewMachine(img, ...)
+// to run as a brand-new device of the same image: memory returns to the
+// post-link snapshot, all counters and logs clear, and a fresh runtime
+// instance is installed. Device pools use it to reuse machines across
+// waves; the result is indistinguishable from NewMachine.
+func ResetMachine(m *vm.Machine, img *Image, opts RunOptions) error {
+	rt, err := img.newRuntime()
+	if err != nil {
+		return err
+	}
+	prep, err := img.prepared()
+	if err != nil {
+		return err
+	}
+	return m.Reset(machineConfig(prep, rt, opts))
 }
 
 // Run is the one-shot helper: build, boot, run.
