@@ -8,6 +8,7 @@ package tics_test
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"testing"
 	"time"
 
@@ -19,8 +20,10 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/link"
+	"repro/internal/mc"
 	"repro/internal/obs"
 	"repro/internal/power"
+	"repro/internal/replay"
 	"repro/internal/sensors"
 	"repro/internal/timekeeper"
 	"repro/internal/vm"
@@ -624,4 +627,55 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	b.Run("profiled", func(b *testing.B) {
 		run(b, func() *obs.Recorder { return obs.NewRecorder(obs.Options{Profile: true}) })
 	})
+}
+
+// ---- Reset-point model checker (internal/mc) ----
+
+// BenchmarkResetPointSweep measures the exhaustive checker's throughput:
+// interrupted schedules verified per wall second and simulated machine
+// states (cycles) explored per second, at depth 1 (every single reboot
+// point) and depth 2 (every reboot pair, stride-capped). The numbers are
+// merged into BENCH_fleet.json's mc table so `-compare` can gate checker
+// regressions like any other ledger row.
+func BenchmarkResetPointSweep(b *testing.B) {
+	for _, depth := range []int{1, 2} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			var rep *mc.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = mc.Sweep(mc.Config{
+					Spec:         replay.Spec{App: "swap", Runtime: "tics", TimerMs: 2, Virtualize: true},
+					Depth:        depth,
+					Workers:      goruntime.GOMAXPROCS(0),
+					MaxSchedules: 400,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Clean() {
+					b.Fatalf("swap sweep found a counterexample: %s", rep.Counterexample())
+				}
+			}
+			sec := b.Elapsed().Seconds()
+			schedPerSec := float64(rep.Schedules) * float64(b.N) / sec
+			statesPerSec := float64(rep.CyclesExplored) * float64(b.N) / sec
+			b.ReportMetric(schedPerSec, "schedules/s")
+			b.ReportMetric(statesPerSec, "states/s")
+			entry := &bench.MCEntry{
+				Program:         "swap",
+				Depth:           depth,
+				Schedules:       rep.Schedules,
+				CyclesExplored:  rep.CyclesExplored,
+				SchedulesPerSec: schedPerSec,
+				StatesPerSec:    statesPerSec,
+			}
+			err := bench.Update("BENCH_fleet.json", func(f *bench.File) error {
+				f.SetMC(bench.MCKey(depth), entry)
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
 }

@@ -6,6 +6,14 @@
 //	ticsvet program.c
 //	ticsvet -app bc                 # analyze a built-in benchmark
 //	ticsvet -json -budget 50000 program.c
+//	ticsvet -mc program.c           # confirm findings with the model checker
+//
+// With -json, diagnostics from all units are emitted as one JSON array in
+// a stable (label, line, col, code) order, so output diffs cleanly run to
+// run. With -mc, each diagnosed program is additionally swept by the
+// reset-point model checker (internal/mc) under the diagnostic's seeded
+// scenario when one exists, or a generic TICS configuration otherwise,
+// and any concrete counterexample schedule is reported next to the lint.
 //
 // Exit status: 0 when the program is clean or carries only informational
 // findings, 1 when warnings or errors are reported, 2 on usage or compile
@@ -16,9 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 
 	"repro/internal/analysis"
 	"repro/internal/apps"
+	"repro/internal/mc"
+	"repro/internal/replay"
 )
 
 func main() {
@@ -27,6 +39,7 @@ func main() {
 		stack   = flag.Int("stack", 0, "working-stack capacity in bytes for TV007 (0 = runtime default)")
 		budget  = flag.Int64("budget", 0, "capacitor budget in cycles for TV008 (0 = structural checks only)")
 		appName = flag.String("app", "", "analyze a built-in benchmark (ar|bc|cf|ghm|ghm-tinyos|swap|bubble|timekeeping) instead of a file")
+		runMC   = flag.Bool("mc", false, "confirm diagnostics dynamically with the reset-point model checker")
 	)
 	flag.Parse()
 
@@ -49,23 +62,23 @@ func main() {
 		units = append(units, unit{path, string(b)})
 	}
 	if len(units) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ticsvet [-json] [-stack N] [-budget N] program.c (or -app NAME)")
+		fmt.Fprintln(os.Stderr, "usage: ticsvet [-json] [-mc] [-stack N] [-budget N] program.c (or -app NAME)")
 		os.Exit(2)
 	}
 
 	opts := analysis.Options{StackBytes: *stack, GapBudgetCycles: *budget}
 	status := 0
-	for _, u := range units {
+	var labeled []analysis.Labeled
+	diagsByUnit := make([][]analysis.Diagnostic, len(units))
+	for i, u := range units {
 		diags, err := analysis.AnalyzeSource(u.src, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, analysis.FormatError(u.label, err))
 			os.Exit(2)
 		}
+		diagsByUnit[i] = diags
 		if *jsonOut {
-			if err := analysis.WriteJSON(os.Stdout, u.label, diags); err != nil {
-				fmt.Fprintf(os.Stderr, "ticsvet: %v\n", err)
-				os.Exit(2)
-			}
+			labeled = append(labeled, analysis.LabelAll(u.label, diags)...)
 		} else {
 			analysis.WriteText(os.Stdout, u.label, diags)
 		}
@@ -73,5 +86,57 @@ func main() {
 			status = 1
 		}
 	}
+	if *jsonOut {
+		// One array for all units, in the stable (label, line, col, code)
+		// order — concatenating one array per unit would not even be
+		// valid JSON.
+		if err := analysis.WriteJSONLabeled(os.Stdout, labeled); err != nil {
+			fmt.Fprintf(os.Stderr, "ticsvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if *runMC {
+		for i, u := range units {
+			if len(diagsByUnit[i]) == 0 {
+				continue
+			}
+			confirmUnit(u.label, u.src, diagsByUnit[i])
+		}
+	}
 	os.Exit(status)
+}
+
+// confirmUnit sweeps one diagnosed unit with the model checker and
+// reports the earliest counterexample schedule, if any. The seeded
+// scenario table supplies the sweep configuration when the unit is one
+// of the seeded testdata programs; other units get a generic TICS
+// configuration.
+func confirmUnit(label, src string, diags []analysis.Diagnostic) {
+	cfg := mc.Config{
+		Spec:         replay.Spec{Runtime: "tics", TimerMs: 2, Virtualize: true},
+		OffMs:        250,
+		Workers:      runtime.GOMAXPROCS(0),
+		MaxSchedules: 512,
+	}
+	for _, sc := range mc.Scenarios() {
+		if sc.File == filepath.Base(label) {
+			cfg = sc.Config
+			cfg.Workers = runtime.GOMAXPROCS(0)
+			break
+		}
+	}
+	cfg.Spec.Source = src
+
+	rep, err := mc.Sweep(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ticsvet: mc sweep of %s: %v\n", label, err)
+		return
+	}
+	if f := rep.Counterexample(); f != nil {
+		fmt.Printf("%s: mc: confirmed by %d-schedule sweep: %s\n", label, rep.Schedules, f)
+	} else {
+		fmt.Printf("%s: mc: no counterexample in %d schedules (depth %d, off %.0f ms)\n",
+			label, rep.Schedules, rep.Depth, rep.OffMs)
+	}
 }

@@ -335,3 +335,68 @@ func FuzzAnalysis(f *testing.F) {
 		}
 	})
 }
+
+// FuzzResetPoint is the randomized shadow of the exhaustive reset-point
+// model checker (internal/mc): where the checker enumerates every
+// instrumentation boundary, the fuzzer throws a reboot at an *arbitrary*
+// cycle — including mid-instruction boundaries the checker's stamp
+// enumeration deliberately skips — and requires the same verdict the
+// checker certifies for TICS: the run completes, the trace auditor stays
+// silent, and committed output matches the continuous-power oracle. The
+// schedule travels through its canonical "sched:C@OFF" power spec, so the
+// fuzzer also pins the counterexample format the checker emits.
+func FuzzResetPoint(f *testing.F) {
+	f.Add(int64(0), uint32(4_000))
+	f.Add(int64(7), uint32(77_000))
+	f.Add(int64(13), uint32(1))
+	f.Fuzz(func(t *testing.T, seed int64, cut uint32) {
+		var g progGen
+		src := g.program(seed)
+		img, err := tics.Build(src, tics.BuildOptions{Runtime: tics.RTTICS})
+		if err != nil {
+			t.Fatalf("build: %v\n%s", err, src)
+		}
+		om, err := tics.NewMachine(img, tics.RunOptions{AutoCpPeriodMs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := om.Run()
+		if err != nil || !oracle.Completed {
+			t.Fatalf("oracle: %v completed=%v\n%s", err, oracle.Completed, src)
+		}
+		// Land the cut strictly inside the oracle's execution.
+		c := 1 + int64(cut)%(oracle.Cycles-1)
+		sched, err := power.ParseSchedule(fmt.Sprintf("sched:%d@20", c))
+		if err != nil {
+			t.Fatalf("canonical schedule spec did not parse: %v", err)
+		}
+		m, err := tics.NewMachine(img, tics.RunOptions{
+			Power:          sched,
+			AutoCpPeriodMs: 2,
+			MaxCycles:      oracle.Cycles*4 + 1_000_000,
+			Recorder:       obs.NewRecorder(obs.Options{}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aud, err := audit.Attach(m, audit.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("seed %d cut=%d: %v\n%s", seed, c, err, src)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d cut=%d: incomplete (starved=%v fault=%q)\n%s",
+				seed, c, res.Starved, res.Fault, src)
+		}
+		if err := aud.Err(); err != nil {
+			t.Fatalf("seed %d cut=%d: audit: %v\n%s", seed, c, err, src)
+		}
+		if !reflect.DeepEqual(res.OutLog, oracle.OutLog) {
+			t.Fatalf("seed %d cut=%d: diverged from oracle\n got  %v\n want %v\n%s",
+				seed, c, res.OutLog, oracle.OutLog, src)
+		}
+	})
+}

@@ -164,20 +164,65 @@ func WriteText(w io.Writer, label string, ds []Diagnostic) {
 	}
 }
 
-// WriteJSON renders diagnostics as a JSON array (machine-readable mode).
-func WriteJSON(w io.Writer, label string, ds []Diagnostic) error {
-	type jdiag struct {
-		Label string `json:"label,omitempty"`
-		Diagnostic
-	}
-	out := make([]jdiag, len(ds))
+// Labeled pairs a diagnostic with the compilation unit (file or program
+// name) it came from, for multi-unit output.
+type Labeled struct {
+	Label string `json:"label,omitempty"`
+	Diagnostic
+}
+
+// LabelAll attaches one label to a unit's diagnostics and materializes
+// the JSON-visible Line/Col fields from the parser position.
+func LabelAll(label string, ds []Diagnostic) []Labeled {
+	out := make([]Labeled, len(ds))
 	for i, d := range ds {
 		d.Line, d.Col = d.Pos.Line, d.Pos.Col
-		out[i] = jdiag{Label: label, Diagnostic: d}
+		out[i] = Labeled{Label: label, Diagnostic: d}
+	}
+	return out
+}
+
+// SortLabeled orders multi-unit diagnostics by (label, line, col, code,
+// msg) — the stable order ticsvet -json and ticsmc emit, so output is
+// diffable run to run regardless of unit order or map iteration inside
+// the passes.
+func SortLabeled(ds []Labeled) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// WriteJSONLabeled renders already-labeled diagnostics (possibly from
+// several units) as one sorted JSON array. An empty list still emits a
+// valid empty array.
+func WriteJSONLabeled(w io.Writer, ds []Labeled) error {
+	SortLabeled(ds)
+	if ds == nil {
+		ds = []Labeled{}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(ds)
+}
+
+// WriteJSON renders one unit's diagnostics as a JSON array
+// (machine-readable mode). Multi-unit callers should collect LabelAll
+// results and emit a single WriteJSONLabeled array instead.
+func WriteJSON(w io.Writer, label string, ds []Diagnostic) error {
+	return WriteJSONLabeled(w, LabelAll(label, ds))
 }
 
 // FormatError renders any error — cc compile errors keep their position —

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+)
+
+// fixtureDiags is a deliberately shuffled multi-unit diagnostic set:
+// two labels, interleaved lines, two codes on one line.
+func fixtureDiags() []Labeled {
+	mk := func(label string, code Code, sev Severity, line, col int, fn, global, msg string) Labeled {
+		return Labeled{Label: label, Diagnostic: Diagnostic{
+			Code: code, Severity: sev, Pos: cc.Pos{Line: line, Col: col},
+			Line: line, Col: col, Func: fn, Global: global, Msg: msg,
+		}}
+	}
+	return []Labeled{
+		mk("b.c", CodeManualPair, Warn, 12, 9, "main", "data_ts", "pair store"),
+		mk("a.c", CodeWAR, Info, 9, 9, "main", "total", "war hazard"),
+		mk("b.c", CodeUnguardedSend, Warn, 8, 5, "main", "sample", "unguarded send"),
+		mk("a.c", CodeStaleTimestamp, Warn, 9, 9, "main", "total", "plain store"),
+		mk("a.c", CodeCheckpointGap, Error, 3, 1, "", "", "region unbounded"),
+	}
+}
+
+// TestWriteTextGolden pins the one shared text formatter ticsvet, ticsc
+// and ticsmc print diagnostics through. Any drift here changes every
+// tool's output at once and must be deliberate.
+func TestWriteTextGolden(t *testing.T) {
+	var sb strings.Builder
+	for _, d := range fixtureDiags()[:2] {
+		WriteText(&sb, d.Label, []Diagnostic{d.Diagnostic})
+	}
+	got := sb.String()
+	want := "b.c:12:9: warn [TV004] main: pair store\n" +
+		"a.c:9:9: info [TV001] main: war hazard\n"
+	if got != want {
+		t.Errorf("WriteText drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteJSONLabeledGolden pins the machine-readable format and its
+// stable (label, line, col, code) order: the fixture arrives shuffled
+// and must serialize sorted, byte-identically.
+func TestWriteJSONLabeledGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSONLabeled(&sb, fixtureDiags()); err != nil {
+		t.Fatal(err)
+	}
+	want := `[
+  {
+    "label": "a.c",
+    "code": "TV008",
+    "severity": "error",
+    "line": 3,
+    "col": 1,
+    "msg": "region unbounded"
+  },
+  {
+    "label": "a.c",
+    "code": "TV001",
+    "severity": "info",
+    "line": 9,
+    "col": 9,
+    "func": "main",
+    "global": "total",
+    "msg": "war hazard"
+  },
+  {
+    "label": "a.c",
+    "code": "TV003",
+    "severity": "warn",
+    "line": 9,
+    "col": 9,
+    "func": "main",
+    "global": "total",
+    "msg": "plain store"
+  },
+  {
+    "label": "b.c",
+    "code": "TV002",
+    "severity": "warn",
+    "line": 8,
+    "col": 5,
+    "func": "main",
+    "global": "sample",
+    "msg": "unguarded send"
+  },
+  {
+    "label": "b.c",
+    "code": "TV004",
+    "severity": "warn",
+    "line": 12,
+    "col": 9,
+    "func": "main",
+    "global": "data_ts",
+    "msg": "pair store"
+  }
+]
+`
+	if sb.String() != want {
+		t.Errorf("WriteJSONLabeled drifted:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestWriteJSONEmpty: an empty diagnostic list must still be a valid
+// (empty) JSON array, not "null" — consumers parse it unconditionally.
+func TestWriteJSONEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSONLabeled(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Errorf("empty list serialized as %q, want []", sb.String())
+	}
+}
+
+// TestSortLabeledStable: diagnostics identical under the sort key keep
+// their input order (SliceStable), so repeated runs cannot flip them.
+func TestSortLabeledStable(t *testing.T) {
+	ds := []Labeled{
+		{Label: "x.c", Diagnostic: Diagnostic{Code: CodeWAR, Line: 1, Col: 1, Msg: "first"}},
+		{Label: "x.c", Diagnostic: Diagnostic{Code: CodeWAR, Line: 1, Col: 1, Msg: "first"}},
+	}
+	ds[0].Global = "a"
+	ds[1].Global = "b"
+	SortLabeled(ds)
+	if ds[0].Global != "a" || ds[1].Global != "b" {
+		t.Errorf("equal-key diagnostics reordered: %q, %q", ds[0].Global, ds[1].Global)
+	}
+}

@@ -238,6 +238,10 @@ func TestValidate(t *testing.T) {
 	f := NewFile()
 	f.SetFleet(FleetKey(1000), sampleEntry(1000))
 	f.SetOpcode("Add", &OpcodeEntry{NsPerInstr: 10, Instrs: 1e5})
+	f.SetMC(MCKey(1), &MCEntry{
+		Program: "swap", Depth: 1, Schedules: 28, CyclesExplored: 127740,
+		SchedulesPerSec: 3e4, StatesPerSec: 1e8,
+	})
 	if errs := Validate(f); len(errs) != 0 {
 		t.Fatalf("valid file rejected: %v", errs)
 	}
@@ -249,8 +253,10 @@ func TestValidate(t *testing.T) {
 	e.PhaseSeconds["warp"] = 0.1
 	bad.SetFleet("n=9999", e) // key/devices mismatch
 	bad.SetOpcode("Sub", &OpcodeEntry{NsPerInstr: -1, Instrs: 0})
+	bad.SetMC("depth=2", &MCEntry{Depth: 1, Schedules: 0, CyclesExplored: 0, SchedulesPerSec: 0, StatesPerSec: 0})
 	errs := Validate(bad)
-	for _, want := range []string{"does not match devices", "source", "unknown phase", "ns_per_instr", "instrs"} {
+	for _, want := range []string{"does not match devices", "source", "unknown phase", "ns_per_instr", "instrs",
+		"program empty", "does not match depth", "schedules =", "cycles_explored", "schedules_per_sec", "states_per_sec"} {
 		found := false
 		for _, err := range errs {
 			if strings.Contains(err.Error(), want) {

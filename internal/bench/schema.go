@@ -29,6 +29,9 @@ type File struct {
 	// Opcodes holds the per-opcode dispatch microbenchmark, keyed by
 	// opcode name (ROADMAP item 2's baseline).
 	Opcodes map[string]*OpcodeEntry `json:"opcodes,omitempty"`
+	// MC holds the reset-point model checker's sweep throughput, keyed
+	// "depth=<n>" (BenchmarkResetPointSweep).
+	MC map[string]*MCEntry `json:"mc,omitempty"`
 }
 
 // Host describes the measuring machine.
@@ -99,6 +102,18 @@ type OpcodeEntry struct {
 	Instrs     int64   `json:"instrs"` // dispatched instructions measured
 }
 
+// MCEntry is one model-checker sweep configuration's throughput: how
+// many interrupted schedules the checker re-executes per wall second and
+// how many simulated machine states (cycles) that explores.
+type MCEntry struct {
+	Program         string  `json:"program"` // program swept (app or label)
+	Depth           int     `json:"depth"`
+	Schedules       int     `json:"schedules"`       // schedules verified in the measured sweep
+	CyclesExplored  int64   `json:"cycles_explored"` // simulated cycles across all schedules
+	SchedulesPerSec float64 `json:"schedules_per_sec"`
+	StatesPerSec    float64 `json:"states_per_sec"` // explored cycles per wall second
+}
+
 // NewFile returns an empty ledger for the current host.
 func NewFile() *File {
 	return &File{
@@ -126,6 +141,17 @@ func (f *File) SetOpcode(name string, e *OpcodeEntry) {
 		f.Opcodes = map[string]*OpcodeEntry{}
 	}
 	f.Opcodes[name] = e
+}
+
+// MCKey is the canonical model-checker entry key for a sweep depth.
+func MCKey(depth int) string { return fmt.Sprintf("depth=%d", depth) }
+
+// SetMC merges one model-checker entry by key.
+func (f *File) SetMC(key string, e *MCEntry) {
+	if f.MC == nil {
+		f.MC = map[string]*MCEntry{}
+	}
+	f.MC[key] = e
 }
 
 // FleetKeys returns the fleet keys sorted by device count (then

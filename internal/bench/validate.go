@@ -103,5 +103,29 @@ func Validate(f *File) []error {
 			bad("opcode %s: instrs = %d, want > 0", name, e.Instrs)
 		}
 	}
+
+	for key, e := range f.MC {
+		if e == nil {
+			bad("mc %s: null entry", key)
+			continue
+		}
+		if e.Program == "" {
+			bad("mc %s: program empty", key)
+		}
+		if e.Depth <= 0 {
+			bad("mc %s: depth = %d, want > 0", key, e.Depth)
+		}
+		if want := MCKey(e.Depth); key != want {
+			bad("mc %s: key does not match depth (want %s)", key, want)
+		}
+		if e.Schedules <= 0 {
+			bad("mc %s: schedules = %d, want > 0", key, e.Schedules)
+		}
+		if e.CyclesExplored <= 0 {
+			bad("mc %s: cycles_explored = %d, want > 0", key, e.CyclesExplored)
+		}
+		finite("mc/"+key, "schedules_per_sec", e.SchedulesPerSec, true)
+		finite("mc/"+key, "states_per_sec", e.StatesPerSec, true)
+	}
 	return errs
 }

@@ -1,0 +1,244 @@
+package mc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/replay"
+)
+
+// Scenario pairs one seeded ticsvet testdata program with the sweep
+// configuration under which its diagnosed hazard manifests dynamically.
+// The static diagnostic says "this program *can* go wrong"; the scenario
+// pins down a runtime, an off-time and (where the program manages
+// freshness manually) an assumed budget under which the checker finds a
+// concrete failing schedule.
+type Scenario struct {
+	File     string           // file name within the seeded testdata dir
+	Code     analysis.Code    // the ticsvet diagnostic being ground-truthed
+	Expect   []string         // finding kinds that confirm the diagnostic
+	Config   Config           // sweep configuration; Spec.Source is filled by the loader
+	Analysis analysis.Options // ticsvet options (TV008 needs a capacitor budget)
+}
+
+func boolPtr(b bool) *bool { return &b }
+
+// Scenarios is the seeded diagnostic corpus: every time-consistency and
+// idempotence diagnostic ticsvet emits on the seeded testdata, with the
+// dynamic configuration that turns the lint into a machine-checked
+// counterexample. TV006/TV007 (stack bounds) manifest as an uninterrupted
+// machine fault under a small stack, so their scenario needs no reboot at
+// all; the rest require a specific reboot schedule.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			File:   "war.c",
+			Code:   analysis.CodeWAR,
+			Expect: []string{string("rollback-exactness"), "register-exactness", "checkpoint-atomicity", KindNVMDivergence},
+			Config: Config{
+				Spec: replay.Spec{
+					Runtime:        "mementos",
+					VersionGlobals: boolPtr(false),
+					TimerMs:        2,
+					Virtualize:     true,
+				},
+				OffMs: 20,
+			},
+		},
+		{
+			File:   "stale_send.c",
+			Code:   analysis.CodeUnguardedSend,
+			Expect: []string{KindStaleSend},
+			Config: Config{
+				Spec:  replay.Spec{Runtime: "tics", TimerMs: 2, Virtualize: true},
+				OffMs: 250,
+			},
+		},
+		{
+			File:   "tv003.c",
+			Code:   analysis.CodeStaleTimestamp,
+			Expect: []string{KindStaleSend},
+			Config: Config{
+				Spec:  replay.Spec{Runtime: "tics", TimerMs: 2, Virtualize: true},
+				OffMs: 250,
+			},
+		},
+		{
+			File:   "tv004.c",
+			Code:   analysis.CodeManualPair,
+			Expect: []string{KindStaleSend},
+			Config: Config{
+				// A 40-byte undo log forces the PreStore checkpoint to land
+				// between the data and data_ts stores, splitting the pair.
+				Spec:           replay.Spec{Runtime: "tics", Virtualize: true, UndoCapBytes: 40},
+				OffMs:          250,
+				AssumeBudgetMs: 100,
+			},
+		},
+		{
+			File:   "tv005.c",
+			Code:   analysis.CodeManualTimely,
+			Expect: []string{KindStaleSend},
+			Config: Config{
+				Spec:           replay.Spec{Runtime: "tics", TimerMs: 2, Virtualize: true},
+				OffMs:          250,
+				AssumeBudgetMs: 100,
+			},
+		},
+		{
+			File:   "recursion.c",
+			Code:   analysis.CodeUnboundedRecursion,
+			Expect: []string{KindFault},
+			Config: Config{
+				// Plain runtime, default 2048-byte stack: 600 recursive
+				// frames overflow it without needing any reboot at all.
+				Spec: replay.Spec{Runtime: "plain"},
+			},
+		},
+		{
+			File:   "gap.c",
+			Code:   analysis.CodeCheckpointGap,
+			Expect: []string{KindEffectLoss, KindStaleSend},
+			Config: Config{
+				// The region's 1000 undo-logged stores need a roomy undo
+				// log: checkpointing is disabled inside @expires, so the
+				// runtime cannot shed entries mid-region.
+				Spec:            replay.Spec{Runtime: "tics", TimerMs: 2, Virtualize: true, UndoCapBytes: 32768},
+				OffMs:           100,
+				CheckEffectLoss: true,
+			},
+			Analysis: analysis.Options{GapBudgetCycles: 50000},
+		},
+		{
+			File:   "gap_unbounded.c",
+			Code:   analysis.CodeCheckpointGap,
+			Expect: []string{KindEffectLoss, KindStaleSend},
+			Config: Config{
+				Spec:            replay.Spec{Runtime: "tics", TimerMs: 2, Virtualize: true},
+				OffMs:           100,
+				CheckEffectLoss: true,
+			},
+		},
+	}
+}
+
+// CrossResult is the verdict for one seeded program: the static
+// diagnostic, the dynamic counterexample, and whether its manifest
+// re-verified under replay.
+type CrossResult struct {
+	File       string           `json:"file"`
+	Code       analysis.Code    `json:"code"`
+	Diagnosed  bool             `json:"diagnosed"`
+	Finding    *Finding         `json:"finding,omitempty"`
+	Manifest   *replay.Manifest `json:"manifest,omitempty"`
+	ReplayOK   bool             `json:"replay_ok"`
+	Schedules  int              `json:"schedules"`
+	Boundaries int              `json:"boundaries"`
+	Err        string           `json:"err,omitempty"`
+}
+
+// Ok reports whether the diagnostic↔counterexample correlation held:
+// ticsvet diagnosed the code, the sweep produced a confirming finding,
+// and the minimized counterexample replayed byte-identically.
+func (c CrossResult) Ok() bool {
+	return c.Err == "" && c.Diagnosed && c.Finding != nil && c.ReplayOK
+}
+
+// CrossCheck runs the diagnostic↔counterexample correlation over every
+// seeded scenario in dir. Hard failures (unreadable file, compile error)
+// return an error; per-scenario contract breaches are reported in the
+// result's Err/flags so a caller can show all of them at once.
+func CrossCheck(dir string, workers int) ([]CrossResult, error) {
+	scenarios := Scenarios()
+	sort.Slice(scenarios, func(i, j int) bool { return scenarios[i].File < scenarios[j].File })
+	var out []CrossResult
+	for _, sc := range scenarios {
+		res, err := runScenario(dir, sc, workers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runScenario(dir string, sc Scenario, workers int) (CrossResult, error) {
+	res := CrossResult{File: sc.File, Code: sc.Code}
+	src, err := os.ReadFile(filepath.Join(dir, sc.File))
+	if err != nil {
+		return res, err
+	}
+
+	diags, err := analysis.AnalyzeSource(string(src), sc.Analysis)
+	if err != nil {
+		return res, fmt.Errorf("mc: %s does not compile: %w", sc.File, err)
+	}
+	for _, d := range diags {
+		if d.Code == sc.Code {
+			res.Diagnosed = true
+			break
+		}
+	}
+
+	cfg := sc.Config
+	cfg.Spec.Source = string(src)
+	cfg.Workers = workers
+	rep, err := Sweep(cfg)
+	if err != nil {
+		return res, fmt.Errorf("mc: %s sweep: %w", sc.File, err)
+	}
+	res.Schedules = rep.Schedules
+	res.Boundaries = rep.Boundaries
+
+	expect := map[string]bool{}
+	for _, k := range sc.Expect {
+		expect[k] = true
+	}
+	// Prefer the earliest confirming *schedule* (a concrete reboot);
+	// fall back to an oracle finding (hazards like a stack-overflow
+	// fault need no reboot at all).
+	for i := range rep.Findings {
+		if expect[rep.Findings[i].Kind] {
+			res.Finding = &rep.Findings[i]
+			break
+		}
+	}
+	if res.Finding == nil {
+		for i := range rep.OracleFindings {
+			if expect[rep.OracleFindings[i].Kind] {
+				res.Finding = &rep.OracleFindings[i]
+				break
+			}
+		}
+	}
+	if !res.Diagnosed {
+		res.Err = fmt.Sprintf("ticsvet did not report %s", sc.Code)
+		return res, nil
+	}
+	if res.Finding == nil {
+		res.Err = fmt.Sprintf("no %v finding in %d schedules (findings: %d, oracle findings: %d)",
+			sc.Expect, rep.Schedules, len(rep.Findings), len(rep.OracleFindings))
+		return res, nil
+	}
+
+	man, _, err := Counterexample(cfg.Spec, *res.Finding)
+	if err != nil {
+		res.Err = fmt.Sprintf("recording counterexample: %v", err)
+		return res, nil
+	}
+	res.Manifest = man
+	run, err := replay.Replay(man, nil)
+	if err != nil {
+		res.Err = fmt.Sprintf("replaying counterexample: %v", err)
+		return res, nil
+	}
+	if err := replay.VerifyReplay(man, run); err != nil {
+		res.Err = fmt.Sprintf("counterexample replay diverged: %v", err)
+		return res, nil
+	}
+	res.ReplayOK = true
+	return res, nil
+}

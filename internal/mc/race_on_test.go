@@ -1,0 +1,7 @@
+//go:build race
+
+package mc
+
+// raceDetector trims sweep sizes when the race detector multiplies the
+// cost of every simulated instruction.
+const raceDetector = true

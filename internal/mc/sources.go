@@ -1,0 +1,330 @@
+package mc
+
+import (
+	"sort"
+
+	tics "repro"
+	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// globalSpan maps an absolute data-address range onto a program global.
+type globalSpan struct {
+	base      uint32
+	size      int
+	name      string
+	expiresMs int64 // -1 when not @expires_after-annotated
+}
+
+// srcSet is the resolved provenance of one stored/sent value: the globals
+// it was computed from. known=false means the backward walk met an
+// instruction it cannot invert (indirect load, call result, ...) and the
+// checker must not draw conclusions from this site.
+type srcSet struct {
+	known   bool
+	globals []string
+}
+
+// provenance is the static data-provenance index for one image. For every
+// Send instruction and every direct global store it records which globals
+// the value on the stack was computed from, by inverting the stack effect
+// of the producing expression (leaves: LoadG/LoadGB name a global;
+// PushI/Sense/Now/LoadL/AddrL/GetRV produce a fresh value; ALU ops union
+// their operands). The walk is linear within the emitted instruction
+// order; any jump target that could enter the expression mid-stream
+// demotes the site to unknown, so the index never over-claims.
+type provenance struct {
+	spans  []globalSpan      // sorted by base
+	sends  map[uint32]srcSet // Send PC -> payload sources
+	stores map[uint32]srcSet // direct global-store PC -> value sources
+}
+
+func buildProvenance(img *tics.Image) (*provenance, error) {
+	p := &provenance{
+		sends:  map[uint32]srcSet{},
+		stores: map[uint32]srcSet{},
+	}
+	for _, g := range img.Program.Globals {
+		p.spans = append(p.spans, globalSpan{
+			base:      img.GlobalsBase + g.Offset,
+			size:      g.Size,
+			name:      g.Name,
+			expiresMs: g.ExpiresAfterMs,
+		})
+	}
+	sort.Slice(p.spans, func(i, j int) bool { return p.spans[i].base < p.spans[j].base })
+
+	var instrs []isa.Instr
+	var addrs []uint32
+	for off := 0; off < len(img.Text); {
+		in, next, err := isa.Decode(img.Text, off)
+		if err != nil {
+			return nil, err
+		}
+		instrs = append(instrs, in)
+		addrs = append(addrs, img.TextBase+uint32(off))
+		off = next
+	}
+	targets := map[uint32]bool{}
+	for _, in := range instrs {
+		switch in.Op {
+		case isa.Jmp, isa.Jz, isa.Jnz, isa.Call, isa.ExpBegin, isa.ExpCatch, isa.Timely:
+			targets[uint32(in.Imm)] = true
+		}
+	}
+	for _, f := range img.Funcs {
+		targets[f.Entry] = true
+	}
+
+	for i, in := range instrs {
+		switch in.Op {
+		case isa.Send:
+			srcs, _, ok := p.valueAt(instrs, addrs, targets, i-1)
+			p.sends[addrs[i]] = srcSet{known: ok, globals: srcs}
+		case isa.StoreG, isa.StoreGL, isa.StoreGB, isa.StoreGBL:
+			if p.globalAt(uint32(in.Imm)) == nil {
+				continue
+			}
+			srcs, _, ok := p.valueAt(instrs, addrs, targets, i-1)
+			p.stores[addrs[i]] = srcSet{known: ok, globals: srcs}
+		}
+	}
+	return p, nil
+}
+
+// globalAt resolves an absolute address to the global whose data range
+// covers it (nil for runtime state, shadow timestamp slots, the stack).
+func (p *provenance) globalAt(addr uint32) *globalSpan {
+	i := sort.Search(len(p.spans), func(i int) bool {
+		return p.spans[i].base+uint32(p.spans[i].size) > addr
+	})
+	if i < len(p.spans) && addr >= p.spans[i].base {
+		return &p.spans[i]
+	}
+	return nil
+}
+
+// valueAt resolves the provenance of the value left on top of the operand
+// stack by instruction j, returning the source globals, the index of the
+// first instruction of the producing expression, and whether the
+// resolution is sound.
+func (p *provenance) valueAt(instrs []isa.Instr, addrs []uint32, targets map[uint32]bool, j int) ([]string, int, bool) {
+	if j < 0 {
+		return nil, 0, false
+	}
+	in := instrs[j]
+	switch in.Op {
+	case isa.PushI, isa.Sense, isa.Now, isa.GetRV, isa.LoadL, isa.AddrL:
+		// Fresh leaves: constants, peripherals, the clock, locals (treated
+		// as freshly produced — a pessimism that can only suppress
+		// findings, never invent them).
+		return nil, j, true
+	case isa.LoadG, isa.LoadGB:
+		if g := p.globalAt(uint32(in.Imm)); g != nil {
+			return []string{g.name}, j, true
+		}
+		return nil, j, true
+	case isa.Neg, isa.Not, isa.LNot, isa.Dup:
+		srcs, start, ok := p.valueAt(instrs, addrs, targets, j-1)
+		if !ok || targets[addrs[j]] {
+			return nil, 0, false
+		}
+		return srcs, start, true
+	case isa.Add, isa.Sub, isa.Mul, isa.Div, isa.Mod, isa.And, isa.Or, isa.Xor,
+		isa.Shl, isa.Shr, isa.CmpEq, isa.CmpNe, isa.CmpLt, isa.CmpLe, isa.CmpGt,
+		isa.CmpGe, isa.CmpLtU, isa.CmpLeU, isa.CmpGtU, isa.CmpGeU:
+		rhs, rhsStart, ok := p.valueAt(instrs, addrs, targets, j-1)
+		if !ok {
+			return nil, 0, false
+		}
+		lhs, lhsStart, ok := p.valueAt(instrs, addrs, targets, rhsStart-1)
+		if !ok {
+			return nil, 0, false
+		}
+		// A jump into the operator or the start of the rhs subexpression
+		// would execute the op against a foreign lhs.
+		if targets[addrs[j]] || targets[addrs[rhsStart]] {
+			return nil, 0, false
+		}
+		return unionStrings(lhs, rhs), lhsStart, true
+	}
+	return nil, 0, false
+}
+
+func unionStrings(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := append([]string{}, a...)
+	for _, s := range b {
+		found := false
+		for _, t := range out {
+			if t == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// StaleSend is one committed transmission whose payload outlived its
+// freshness budget: the value left the device AgeMs after it was last
+// produced from a fresh source, against a budget of BudgetMs.
+type StaleSend struct {
+	PC       uint32 `json:"pc"`
+	Global   string `json:"global"`
+	Seq      int64  `json:"seq"`
+	AgeMs    int64  `json:"age_ms"`
+	BudgetMs int64  `json:"budget_ms"`
+	DeviceMs int64  `json:"device_ms"` // device clock at commit
+}
+
+// freshTracker is the dynamic half of the time-consistency check. It
+// maintains, per global, the device-clock time the global's current value
+// was produced from a fresh source (propagated through direct
+// global-to-global assignments by the static provenance index), reverts
+// that map on rollback exactly as the runtime reverts NVM, and flags
+// every committed send whose payload is older than its budget. Annotated
+// globals use their @expires_after budget; unannotated globals use
+// assumeBudgetMs when positive (a scenario knob for programs that manage
+// freshness manually, the TV004/TV005 shapes).
+type freshTracker struct {
+	prov           *provenance
+	assumeBudgetMs int64
+
+	prod      map[string]int64 // production time of the current value
+	committed map[string]int64 // prod at the last commit point
+	stale     []StaleSend
+}
+
+func newFreshTracker(prov *provenance, assumeBudgetMs int64) *freshTracker {
+	return &freshTracker{
+		prov:           prov,
+		assumeBudgetMs: assumeBudgetMs,
+		prod:           map[string]int64{},
+		committed:      map[string]int64{},
+	}
+}
+
+// attach hooks the tracker onto a machine and its recorder. It chains
+// store observation (compatible with the auditor), owns the OnSend hook,
+// and snapshots/reverts on commit/restore events from the recorder
+// stream. Attach after audit.Attach so event ordering stays fixed.
+func (t *freshTracker) attach(m *vm.Machine, rec *obs.Recorder) {
+	m.ObserveStores(func(addr uint32, size int, val uint32, deviceMs int64) {
+		// The program counter still points at the store instruction while
+		// its observer runs, which is what keys the provenance index.
+		t.onStore(m.Regs.PC, addr, deviceMs)
+	})
+	m.OnSend = t.onSend
+	rec.AddSink(t)
+}
+
+// OnEvent implements obs.Sink: commits snapshot the production map,
+// restores revert it (the runtime just reverted the values themselves).
+func (t *freshTracker) OnEvent(_ int64, ev obs.Event) {
+	switch ev.Kind {
+	case obs.EvCheckpointCommit, obs.EvTaskCommit:
+		for k, v := range t.prod {
+			t.committed[k] = v
+		}
+	case obs.EvRestore:
+		t.prod = map[string]int64{}
+		for k, v := range t.committed {
+			t.prod[k] = v
+		}
+	}
+}
+
+func (t *freshTracker) onStore(pc uint32, addr uint32, deviceMs int64) {
+	g := t.prov.globalAt(addr)
+	if g == nil {
+		return
+	}
+	set, ok := t.prov.stores[pc]
+	if !ok || !set.known || len(set.globals) == 0 {
+		// Unknown provenance or a fresh expression: the store produces a
+		// new value now.
+		t.prod[g.name] = deviceMs
+		return
+	}
+	// The stored value is as old as its oldest global source.
+	prod := deviceMs
+	for _, src := range set.globals {
+		if p, ok := t.prod[src]; ok {
+			if p < prod {
+				prod = p
+			}
+		} else if 0 < prod {
+			prod = 0 // never-written source: the boot-time initial value
+		}
+	}
+	t.prod[g.name] = prod
+}
+
+func (t *freshTracker) onSend(rec vm.SendRec) {
+	set, ok := t.prov.sends[rec.PC]
+	if !ok || !set.known {
+		return
+	}
+	for _, src := range set.globals {
+		g := t.globalByName(src)
+		if g == nil {
+			continue
+		}
+		budget := g.expiresMs
+		if budget < 0 {
+			if t.assumeBudgetMs <= 0 {
+				continue
+			}
+			budget = t.assumeBudgetMs
+		}
+		age := rec.EstMs - t.prod[src]
+		if age > budget {
+			t.stale = append(t.stale, StaleSend{
+				PC:       rec.PC,
+				Global:   src,
+				Seq:      rec.Seq,
+				AgeMs:    age,
+				BudgetMs: budget,
+				DeviceMs: rec.EstMs,
+			})
+		}
+	}
+}
+
+func (t *freshTracker) globalByName(name string) *globalSpan {
+	for i := range t.prov.spans {
+		if t.prov.spans[i].name == name {
+			return &t.prov.spans[i]
+		}
+	}
+	return nil
+}
+
+// timeInsensitive reports whether the image's output can depend on timing
+// at all: a program with no sensor reads, clock reads, or time-annotation
+// opcodes produces the same committed NVM no matter where reboots land,
+// so the checker may assert committed-state equality against the oracle.
+func timeInsensitive(img *tics.Image) (bool, error) {
+	for off := 0; off < len(img.Text); {
+		in, next, err := isa.Decode(img.Text, off)
+		if err != nil {
+			return false, err
+		}
+		switch in.Op {
+		case isa.Sense, isa.Now, isa.SetTS, isa.ExpBegin, isa.ExpCatch, isa.ExpEnd, isa.Timely:
+			return false, nil
+		}
+		off = next
+	}
+	return true, nil
+}

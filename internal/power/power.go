@@ -13,6 +13,8 @@ package power
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"repro/internal/energy"
 )
@@ -104,6 +106,80 @@ func (t *Trace) NextWindow() (int64, float64) {
 	return int64(w.OnMs * energy.CyclesPerMs), w.OffMs
 }
 func (t *Trace) Reset() { t.pos = 0 }
+
+// SchedWindow is one powered window of a Schedule, cycle-exact.
+type SchedWindow struct {
+	Cycles int64
+	OffMs  float64
+}
+
+// Schedule grants an explicit sequence of cycle-exact windows and then
+// continuous power. The reset-point model checker (internal/mc) uses it to
+// inject reboots at precise instrumentation boundaries: a window of C
+// cycles kills the first operation whose cost crosses C, the device waits
+// the window's off-time, and the run then finishes unperturbed. Its Name
+// round-trips through ParseSchedule, so a schedule embeds verbatim in a
+// replay manifest's power spec.
+type Schedule struct {
+	Windows []SchedWindow
+	pos     int
+}
+
+// Name renders the canonical "sched:C@OFF,..." spec string.
+func (s *Schedule) Name() string {
+	var b strings.Builder
+	b.WriteString("sched:")
+	for i, w := range s.Windows {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d@%s", w.Cycles, strconv.FormatFloat(w.OffMs, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+func (s *Schedule) NextWindow() (int64, float64) {
+	if s.pos >= len(s.Windows) {
+		return math.MaxInt64, 0
+	}
+	w := s.Windows[s.pos]
+	s.pos++
+	return w.Cycles, w.OffMs
+}
+
+func (s *Schedule) Reset() { s.pos = 0 }
+
+// ParseSchedule parses the "sched:C@OFF,..." syntax Name emits. An empty
+// window list ("sched:") is continuous power.
+func ParseSchedule(spec string) (*Schedule, error) {
+	body, ok := strings.CutPrefix(spec, "sched:")
+	if !ok {
+		return nil, fmt.Errorf("power: schedule spec %q lacks the sched: prefix", spec)
+	}
+	s := &Schedule{}
+	if body == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(body, ",") {
+		cs, os, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("power: schedule window %q wants CYCLES@OFF_MS", part)
+		}
+		c, err := strconv.ParseInt(cs, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("power: schedule window %q: %v", part, err)
+		}
+		off, err := strconv.ParseFloat(os, 64)
+		if err != nil {
+			return nil, fmt.Errorf("power: schedule window %q: %v", part, err)
+		}
+		if c < 0 || off < 0 {
+			return nil, fmt.Errorf("power: schedule window %q is negative", part)
+		}
+		s.Windows = append(s.Windows, SchedWindow{Cycles: c, OffMs: off})
+	}
+	return s, nil
+}
 
 // Harvester models RF/solar harvesting into a small capacitor (the paper's
 // Table 2 setup: a Powercast receiver with a 10 µF capacitor). Each window

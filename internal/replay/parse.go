@@ -10,8 +10,9 @@ import (
 )
 
 // ParsePower builds a power source from ticsrun's -power syntax:
-// continuous | duty:RATE | fail:CYCLES | harvest:CAP,RATE. The same
-// string goes into a replay Spec, which is why it lives here.
+// continuous | duty:RATE | fail:CYCLES | sched:C@OFF,... |
+// harvest:CAP,RATE. The same string goes into a replay Spec, which is why
+// it lives here.
 func ParsePower(arg string, seed uint64) (power.Source, error) {
 	switch {
 	case arg == "continuous":
@@ -28,6 +29,9 @@ func ParsePower(arg string, seed uint64) (power.Source, error) {
 			return nil, err
 		}
 		return &power.FailEvery{Cycles: n, OffMs: 20}, nil
+	case strings.HasPrefix(arg, "sched:"):
+		// Explicit cycle-exact reboot schedule (internal/mc counterexamples).
+		return power.ParseSchedule(arg)
 	case strings.HasPrefix(arg, "harvest:"):
 		parts := strings.Split(arg[8:], ",")
 		if len(parts) != 2 {

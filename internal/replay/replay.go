@@ -35,9 +35,19 @@ type Spec struct {
 	Runtime string `json:"runtime"`
 	Segment int    `json:"segment,omitempty"` // TICS segment bytes (0 = minimum)
 
-	Power string `json:"power"` // continuous | duty:RATE | fail:CYCLES | harvest:CAP,RATE
+	Power string `json:"power"` // continuous | duty:RATE | fail:CYCLES | sched:... | harvest:CAP,RATE
 	Clock string `json:"clock"` // perfect | rtc:RES_MS | remanence:ERR,MAX_MS
 	Seed  uint64 `json:"seed"`  // sensor/power/clock seed
+
+	// Build knobs beyond Segment that change the image (and therefore the
+	// event stream a replay must reproduce). StackBytes sizes the stack
+	// region / TICS segment arena (0 = runtime default); UndoCapBytes
+	// sizes the TICS undo log (0 = default); VersionGlobals toggles
+	// Mementos' global versioning (nil = default true; false reproduces
+	// the Table 1 WAR-violation counterexamples).
+	StackBytes     int   `json:"stack_bytes,omitempty"`
+	UndoCapBytes   int   `json:"undo_cap_bytes,omitempty"`
+	VersionGlobals *bool `json:"version_globals,omitempty"`
 
 	TimerMs   float64 `json:"timer_ms,omitempty"`
 	WallMs    float64 `json:"wall_ms,omitempty"`
@@ -117,7 +127,13 @@ func (c *capture) OnEvent(_ int64, ev obs.Event) { c.events = append(c.events, e
 // once and share it across machines; the source text is returned for
 // program hashing.
 func BuildImage(spec Spec) (*tics.Image, string, error) {
-	opts := tics.BuildOptions{Runtime: tics.RuntimeKind(spec.Runtime), SegmentBytes: spec.Segment}
+	opts := tics.BuildOptions{
+		Runtime:        tics.RuntimeKind(spec.Runtime),
+		SegmentBytes:   spec.Segment,
+		StackBytes:     spec.StackBytes,
+		UndoCapBytes:   spec.UndoCapBytes,
+		VersionGlobals: spec.VersionGlobals,
+	}
 	src := spec.Source
 	if spec.App != "" {
 		app, ok := apps.ByName(spec.App)

@@ -135,6 +135,11 @@ type SendRec struct {
 	// timestamp on the device clock.
 	EmitTrueMs float64
 	EmitEstMs  int64
+	// PC is the address of the Send instruction that produced the packet,
+	// letting offline checkers attribute a committed transmission back to
+	// its program point (the reset-point model checker keys data-freshness
+	// provenance on it).
+	PC uint32
 }
 
 // CommitLatencyMs is the time the packet waited between its Send
@@ -239,6 +244,11 @@ type Machine struct {
 	OnMark       func(id int32, deviceMs int64)
 	OnCheckpoint func(kind CpKind)
 	OnRestore    func()
+	// OnSend observes every transmission as it enters the committed
+	// SendLog: immediately for raw-radio sends, at the releasing commit
+	// point for virtualized ones (rec.TrueMs/EstMs are the commit stamps
+	// by then). Rolled-back virtualized sends are never reported.
+	OnSend func(rec SendRec)
 
 	// Interrupt controller state (volatile).
 	irqPeriodMs float64
@@ -444,7 +454,7 @@ func (m *Machine) Reset(cfg Config) error {
 	m.onMs, m.offMs = 0, 0
 	m.failures = 0
 	m.halted, m.timedOut = false, false
-	m.OnStore, m.OnMark, m.OnCheckpoint, m.OnRestore = nil, nil, nil, nil
+	m.OnStore, m.OnMark, m.OnCheckpoint, m.OnRestore, m.OnSend = nil, nil, nil, nil, nil
 	m.inISR, m.isrRetPC, m.isrRetSP = false, 0, 0
 	m.cpCounts = [cpKindCount]int64{}
 	m.restores, m.irqCount = 0, 0
@@ -630,6 +640,9 @@ func (m *Machine) CommitObservables() {
 		rec.TrueMs = m.TrueNowMs()
 		rec.EstMs = m.clock.Now()
 		m.SendLog = append(m.SendLog, rec)
+		if m.OnSend != nil {
+			m.OnSend(rec)
+		}
 	}
 	m.sendPending = m.sendPending[:0]
 	m.sendSeqCommitted = m.sendSeq
@@ -988,7 +1001,7 @@ func (m *Machine) step() error {
 	case isa.Send:
 		now, est := m.TrueNowMs(), m.clock.Now()
 		rec := SendRec{Value: int32(m.Pop()), TrueMs: now, EstMs: est,
-			EmitTrueMs: now, EmitEstMs: est, Seq: m.sendSeq}
+			EmitTrueMs: now, EmitEstMs: est, Seq: m.sendSeq, PC: m.Regs.PC}
 		m.sendSeq++
 		virt := int64(0)
 		if m.virtualizeSends {
@@ -1005,6 +1018,9 @@ func (m *Machine) step() error {
 		} else {
 			m.Spend(m.Cost.SendExtra)
 			m.SendLog = append(m.SendLog, rec)
+			if m.OnSend != nil {
+				m.OnSend(rec)
+			}
 		}
 	case isa.Out:
 		m.outPending = append(m.outPending, outEntry{ch: in.Imm, val: int32(m.Pop())})

@@ -10,7 +10,7 @@ int walk(int n) {
 }
 
 int main() {
-    depth = walk(9);
+    depth = walk(600);
     out(0, depth);
     return 0;
 }

@@ -1,0 +1,21 @@
+// Seeded stale-timestamp hazard: `sample` is refreshed with @= (which
+// stamps its shadow timestamp) and then overwritten by a plain store of
+// an older cached reading. The timestamp stays fresh while the value is
+// old, so the @expires guard happily transmits data past its budget.
+int cache;
+int acc;
+@expires_after=100 int sample;
+
+int main() {
+    int i;
+    cache = sense(0);
+    for (i = 0; i < 300; i++) {
+        acc = acc + i;
+    }
+    sample @= sense(0);
+    sample = cache;
+    @expires(sample) {
+        send(sample);
+    }
+    return 0;
+}

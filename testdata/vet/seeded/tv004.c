@@ -1,0 +1,16 @@
+// Seeded manual data/timestamp pair (Figure 3c): `data` and `data_ts`
+// are updated by two separate stores. A power failure between them
+// misaligns the pair — the re-executed timestamp judges a value sensed
+// before the outage as fresh.
+int data;
+int data_ts;
+
+int main() {
+    int i;
+    for (i = 0; i < 20; i++) {
+        data = sense(0);
+        data_ts = now();
+        send(data);
+    }
+    return 0;
+}

@@ -1,0 +1,23 @@
+// Seeded volatile-clock branch (Figure 3b): the now() comparison opens a
+// transmission window that is then used long after the condition was
+// evaluated. A checkpoint between the check and the send lets the reboot
+// resume inside the window with data sensed before the outage.
+int data;
+int window_open;
+int acc;
+
+int main() {
+    int i;
+    data = sense(0);
+    window_open = 0;
+    if (now() < 5) {
+        window_open = 1;
+    }
+    for (i = 0; i < 500; i++) {
+        acc = acc + i;
+    }
+    if (window_open) {
+        send(data);
+    }
+    return 0;
+}

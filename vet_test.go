@@ -174,6 +174,22 @@ func TestVetSeededHazards(t *testing.T) {
 			return d.Global == "sample"
 		})
 	})
+	t.Run("stale-timestamp", func(t *testing.T) {
+		diags := analyzeSeeded(t, "tv003.c", analysis.Options{})
+		requireFinding(t, diags, analysis.CodeStaleTimestamp, func(d analysis.Diagnostic) bool {
+			return d.Global == "sample"
+		})
+	})
+	t.Run("manual-pair", func(t *testing.T) {
+		diags := analyzeSeeded(t, "tv004.c", analysis.Options{})
+		requireFinding(t, diags, analysis.CodeManualPair, func(d analysis.Diagnostic) bool {
+			return d.Global == "data_ts" || d.Global == "data"
+		})
+	})
+	t.Run("manual-timely", func(t *testing.T) {
+		diags := analyzeSeeded(t, "tv005.c", analysis.Options{})
+		requireFinding(t, diags, analysis.CodeManualTimely, nil)
+	})
 	t.Run("unbounded-recursion", func(t *testing.T) {
 		diags := analyzeSeeded(t, "recursion.c", analysis.Options{})
 		requireFinding(t, diags, analysis.CodeUnboundedRecursion, func(d analysis.Diagnostic) bool {
