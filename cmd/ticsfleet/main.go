@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/fleet"
+	"repro/internal/gate"
 	"repro/internal/replay"
 )
 
@@ -52,6 +53,15 @@ func main() {
 		retrans  = flag.Int("retrans", 0, "link-layer retransmit attempts per frame")
 		backoff  = flag.Float64("backoff", 5, "retransmit backoff in ms")
 		fresh    = flag.Float64("fresh", 0, "gateway freshness deadline in ms (0 = off)")
+
+		geOn    = flag.Bool("ge", false, "Gilbert-Elliott burst-loss channel instead of uniform -loss")
+		geLossG = flag.Float64("ge-loss-good", 0.01, "with -ge: frame loss probability in the Good state")
+		geLossB = flag.Float64("ge-loss-bad", 0.5, "with -ge: frame loss probability in the Bad state")
+		geGB    = flag.Float64("ge-gb", 0.05, "with -ge: per-frame Good→Bad transition probability")
+		geBG    = flag.Float64("ge-bg", 0.2, "with -ge: per-frame Bad→Good transition probability")
+
+		gatewayURL  = flag.String("gateway", "", "attach to a standalone ticsgate service at URL instead of the in-process gateway")
+		maxArrivals = flag.Int("max-arrivals", 0, "bound the gateway arrival buffer: admit at most N frames fleet-wide, shed the rest (0 = unbounded)")
 
 		jsonOut    = flag.Bool("json", false, "print the report as JSON")
 		metrics    = flag.Bool("metrics", false, "dump the merged fleet metrics registry")
@@ -93,8 +103,14 @@ func main() {
 			DelayMaxMs:  *delayMax,
 			Retransmits: *retrans,
 			BackoffMs:   *backoff,
+			GE:          *geOn,
+			GELossGood:  *geLossG,
+			GELossBad:   *geLossB,
+			GEGoodToBad: *geGB,
+			GEBadToGood: *geBG,
 		},
 		FreshnessMs: *fresh,
+		MaxArrivals: *maxArrivals,
 		Virtualize:  *virt,
 		Collect:     *metrics || *promOut != "",
 		Trace:       *traceMsg != "" || *spansOut != "" || *perfOut != "",
@@ -130,7 +146,13 @@ func main() {
 	}
 
 	if *serveAddr != "" {
+		if *gatewayURL != "" {
+			fatal(fmt.Errorf("-serve and -gateway are mutually exclusive"))
+		}
 		fatal(fleet.Serve(*serveAddr, cfg, fleet.ServeOptions{Loop: *loop, Pprof: *pprofOn}))
+	}
+	if *gatewayURL != "" {
+		cfg.Remote = gate.NewClient(*gatewayURL, *fresh)
 	}
 
 	rep, err := fleet.Run(cfg)
@@ -236,6 +258,9 @@ func printReport(cfg fleet.Config, rep *fleet.Report) {
 		rep.Sends, rep.UniqueSends, rep.Link.Frames, rep.Link.FramesLost, rep.Link.AcksLost, rep.Link.Echoes)
 	fmt.Printf("gateway:      %d delivered, %d duplicates dropped, %d expired, %d lost\n",
 		rep.Gateway.Delivered, rep.Gateway.Duplicates, rep.Gateway.Expired, rep.Lost)
+	if rep.ArrivalsDropped > 0 {
+		fmt.Printf("shed:         %d arrivals dropped at the gateway buffer cap\n", rep.ArrivalsDropped)
+	}
 	fmt.Printf("latency:      p50 %.1f ms, p99 %.1f ms end-to-end\n", rep.LatencyP50, rep.LatencyP99)
 	fmt.Printf("phases:      ")
 	for _, p := range rep.Phases {

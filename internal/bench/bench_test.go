@@ -242,6 +242,9 @@ func TestValidate(t *testing.T) {
 		Program: "swap", Depth: 1, Schedules: 28, CyclesExplored: 127740,
 		SchedulesPerSec: 3e4, StatesPerSec: 1e8,
 	})
+	f.SetGate(GateKey(64), &GateEntry{
+		BatchFrames: 64, Batches: 200, FramesPerSec: 3e5, WALBytesFrame: 53.4, RecoveryMs: 3.7,
+	})
 	if errs := Validate(f); len(errs) != 0 {
 		t.Fatalf("valid file rejected: %v", errs)
 	}
@@ -254,9 +257,11 @@ func TestValidate(t *testing.T) {
 	bad.SetFleet("n=9999", e) // key/devices mismatch
 	bad.SetOpcode("Sub", &OpcodeEntry{NsPerInstr: -1, Instrs: 0})
 	bad.SetMC("depth=2", &MCEntry{Depth: 1, Schedules: 0, CyclesExplored: 0, SchedulesPerSec: 0, StatesPerSec: 0})
+	bad.SetGate("batch=9", &GateEntry{BatchFrames: 1, Batches: 0, FramesPerSec: 0, WALBytesFrame: -1, RecoveryMs: 0})
 	errs := Validate(bad)
 	for _, want := range []string{"does not match devices", "source", "unknown phase", "ns_per_instr", "instrs",
-		"program empty", "does not match depth", "schedules =", "cycles_explored", "schedules_per_sec", "states_per_sec"} {
+		"program empty", "does not match depth", "schedules =", "cycles_explored", "schedules_per_sec", "states_per_sec",
+		"does not match batch_frames", "batches =", "frames_per_sec", "wal_bytes_frame", "recovery_ms"} {
 		found := false
 		for _, err := range errs {
 			if strings.Contains(err.Error(), want) {

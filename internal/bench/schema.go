@@ -32,6 +32,9 @@ type File struct {
 	// MC holds the reset-point model checker's sweep throughput, keyed
 	// "depth=<n>" (BenchmarkResetPointSweep).
 	MC map[string]*MCEntry `json:"mc,omitempty"`
+	// Gate holds the standalone gateway service's durable-ingest costs,
+	// keyed "batch=<frames>" (BenchmarkGateIngest).
+	Gate map[string]*GateEntry `json:"gate,omitempty"`
 }
 
 // Host describes the measuring machine.
@@ -114,6 +117,17 @@ type MCEntry struct {
 	StatesPerSec    float64 `json:"states_per_sec"` // explored cycles per wall second
 }
 
+// GateEntry is the ticsgate durable-ingest cost sheet at one batch
+// size: sustained fsync-on-batch ingest rate, WAL space per frame, and
+// how long reopening the store (snapshot load + WAL replay) takes.
+type GateEntry struct {
+	BatchFrames   int     `json:"batch_frames"`    // frames per ingested batch
+	Batches       int     `json:"batches"`         // batches in the measured run
+	FramesPerSec  float64 `json:"frames_per_sec"`  // durable ingest throughput
+	WALBytesFrame float64 `json:"wal_bytes_frame"` // WAL bytes per ingested frame
+	RecoveryMs    float64 `json:"recovery_ms"`     // Open() over the produced WAL
+}
+
 // NewFile returns an empty ledger for the current host.
 func NewFile() *File {
 	return &File{
@@ -152,6 +166,17 @@ func (f *File) SetMC(key string, e *MCEntry) {
 		f.MC = map[string]*MCEntry{}
 	}
 	f.MC[key] = e
+}
+
+// GateKey is the canonical gate-entry key for a batch size.
+func GateKey(batchFrames int) string { return fmt.Sprintf("batch=%d", batchFrames) }
+
+// SetGate merges one gateway-service entry by key.
+func (f *File) SetGate(key string, e *GateEntry) {
+	if f.Gate == nil {
+		f.Gate = map[string]*GateEntry{}
+	}
+	f.Gate[key] = e
 }
 
 // FleetKeys returns the fleet keys sorted by device count (then

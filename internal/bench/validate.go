@@ -127,5 +127,24 @@ func Validate(f *File) []error {
 		finite("mc/"+key, "schedules_per_sec", e.SchedulesPerSec, true)
 		finite("mc/"+key, "states_per_sec", e.StatesPerSec, true)
 	}
+
+	for key, e := range f.Gate {
+		if e == nil {
+			bad("gate %s: null entry", key)
+			continue
+		}
+		if e.BatchFrames <= 0 {
+			bad("gate %s: batch_frames = %d, want > 0", key, e.BatchFrames)
+		}
+		if want := GateKey(e.BatchFrames); key != want {
+			bad("gate %s: key does not match batch_frames (want %s)", key, want)
+		}
+		if e.Batches <= 0 {
+			bad("gate %s: batches = %d, want > 0", key, e.Batches)
+		}
+		finite("gate/"+key, "frames_per_sec", e.FramesPerSec, true)
+		finite("gate/"+key, "wal_bytes_frame", e.WALBytesFrame, true)
+		finite("gate/"+key, "recovery_ms", e.RecoveryMs, true)
+	}
 	return errs
 }

@@ -1,0 +1,55 @@
+package fleet
+
+import "testing"
+
+// capCfg generates comfortably more than 1e4 channel arrivals so the
+// 1e4 admission cap actually sheds.
+func capCfg(workers int) Config {
+	cfg := fleetCfg(workers)
+	cfg.Devices = 64
+	cfg.WallMs = 3500
+	cfg.MaxArrivals = 10_000
+	return cfg
+}
+
+// TestMaxArrivalsBoundsGatewayBuffer is the ROADMAP item 1 residual at
+// n=1e4: with a fleet offering more arrivals than the cap, the gateway
+// admits exactly the cap, counts the shed frames, exports them as a
+// metric, and stays worker-count deterministic.
+func TestMaxArrivalsBoundsGatewayBuffer(t *testing.T) {
+	uncapped := capCfg(1)
+	uncapped.MaxArrivals = 0
+	full, err := Run(uncapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Gateway.Arrivals <= 10_000 {
+		t.Fatalf("fixture too small: only %d arrivals offered", full.Gateway.Arrivals)
+	}
+
+	rep, err := Run(capCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gateway.Arrivals != 10_000 {
+		t.Fatalf("admitted %d arrivals, want exactly the 10000 cap", rep.Gateway.Arrivals)
+	}
+	if rep.ArrivalsDropped == 0 {
+		t.Fatal("cap shed nothing")
+	}
+	if got, want := rep.ArrivalsDropped, full.Gateway.Arrivals-10_000; got != want {
+		t.Fatalf("dropped %d, want %d (offered %d - cap)", got, want, full.Gateway.Arrivals)
+	}
+	if v := rep.Metrics.Counter("fleet_gateway_arrivals_dropped"); v != rep.ArrivalsDropped {
+		t.Fatalf("metric fleet_gateway_arrivals_dropped = %d, want %d", v, rep.ArrivalsDropped)
+	}
+
+	par, err := Run(capCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Digest != rep.Digest || par.ArrivalsDropped != rep.ArrivalsDropped {
+		t.Fatalf("cap not deterministic across workers: digest %q vs %q, dropped %d vs %d",
+			par.Digest, rep.Digest, par.ArrivalsDropped, rep.ArrivalsDropped)
+	}
+}

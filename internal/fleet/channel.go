@@ -29,6 +29,27 @@ type LinkParams struct {
 	Retransmits int
 	// BackoffMs separates retransmit attempts (default 5 ms).
 	BackoffMs float64
+
+	// GE switches per-frame loss from the uniform Loss probability to a
+	// Gilbert–Elliott two-state burst model: the link sits in a Good or
+	// Bad state with its own loss probability, and after every loss draw
+	// the state transitions with the given probabilities. Bursty loss is
+	// how real lossy-RF deployments behave — long clean stretches
+	// punctuated by fade-outs where nearly everything drops — and it
+	// stresses the gateway's dedup/ARQ path very differently from
+	// uniform loss at the same average rate. State transitions draw from
+	// the same per-device splitmix64 stream as everything else, so GE
+	// fleets stay worker-count independent.
+	GE bool
+	// GELossGood/GELossBad are the per-frame loss probabilities in the
+	// Good and Bad states (data frames and ACKs alike).
+	GELossGood float64
+	GELossBad  float64
+	// GEGoodToBad/GEBadToGood are the per-draw state transition
+	// probabilities. The chain starts in Good; its stationary bad-state
+	// share is GEGoodToBad/(GEGoodToBad+GEBadToGood).
+	GEGoodToBad float64
+	GEBadToGood float64
 }
 
 // Arrival is one frame reaching the gateway.
@@ -51,6 +72,7 @@ type LinkStats struct {
 	AcksLost    int64 // ACKs the channel dropped (each forces a retransmit)
 	Echoes      int64 // channel-duplicated copies delivered
 	Undelivered int64 // packets whose every attempt was lost
+	BadFrames   int64 // data frames transmitted while a GE link sat in Bad state
 }
 
 func (s *LinkStats) add(o LinkStats) {
@@ -60,6 +82,7 @@ func (s *LinkStats) add(o LinkStats) {
 	s.AcksLost += o.AcksLost
 	s.Echoes += o.Echoes
 	s.Undelivered += o.Undelivered
+	s.BadFrames += o.BadFrames
 }
 
 // linkRNG is a private splitmix64 stream. Each device's link owns one,
@@ -105,6 +128,32 @@ func transmit(dev int, seed uint64, p LinkParams, log []vm.SendRec, tel *Telemet
 	}
 	delay := func() float64 { return p.DelayMinMs + spread*rng.float() }
 
+	// lose decides one loss draw. The uniform model consumes exactly one
+	// RNG draw per decision — the historical stream, so existing fleet
+	// digests are untouched. The Gilbert–Elliott model consumes two (the
+	// loss draw in the current state, then the state transition draw),
+	// which is still a pure function of (seed, draw order) and therefore
+	// just as worker-count independent.
+	geBad := false
+	lose := func() bool {
+		if !p.GE {
+			return rng.float() < p.Loss
+		}
+		pLoss := p.GELossGood
+		if geBad {
+			pLoss = p.GELossBad
+		}
+		drop := rng.float() < pLoss
+		if geBad {
+			if rng.float() < p.GEBadToGood {
+				geBad = false
+			}
+		} else if rng.float() < p.GEGoodToBad {
+			geBad = true
+		}
+		return drop
+	}
+
 	var out []Arrival
 	var st LinkStats
 	for _, rec := range log {
@@ -113,8 +162,11 @@ func transmit(dev int, seed uint64, p LinkParams, log []vm.SendRec, tel *Telemet
 		delivered := false
 		for attempt := 0; attempt <= p.Retransmits; attempt++ {
 			st.Frames++
+			if p.GE && geBad {
+				st.BadFrames++
+			}
 			txMs := rec.TrueMs + float64(attempt)*backoff
-			if rng.float() < p.Loss {
+			if lose() {
 				st.FramesLost++
 				tel.onAttempt(dev, rec.Seq, AttemptSpan{Emit: emit, Attempt: attempt, TxMs: txMs, Lost: true})
 				continue // next attempt, if the link layer has one
@@ -138,7 +190,7 @@ func transmit(dev int, seed uint64, p LinkParams, log []vm.SendRec, tel *Telemet
 			// The gateway ACKs the frame; if the ACK is lost the device
 			// cannot tell its frame arrived and retransmits it — the
 			// classic duplicate-manufacturing path of ARQ links.
-			if attempt < p.Retransmits && rng.float() < p.Loss {
+			if attempt < p.Retransmits && lose() {
 				st.AcksLost++
 				tel.markAckLost(dev, rec.Seq, idx)
 				continue
@@ -152,24 +204,31 @@ func transmit(dev int, seed uint64, p LinkParams, log []vm.SendRec, tel *Telemet
 	return out, st
 }
 
-// SortArrivals orders frames the way the gateway observes them: by
-// arrival time, tie-broken by (device, sequence, attempt, echo) so the
-// global order is total and therefore identical on every run.
+// ArrivalBefore is the gateway observation order: by arrival time,
+// tie-broken by (device, sequence, attempt, echo) so the global order is
+// total and therefore identical on every run. Exported because the
+// standalone gateway service (internal/gate) must pick the same "first
+// arrival" per (device, seq) — and sort its deliveries the same way —
+// regardless of the order HTTP batches land in, or its digest could not
+// match an in-process run.
+func ArrivalBefore(a, b Arrival) bool {
+	if a.ArriveMs != b.ArriveMs {
+		return a.ArriveMs < b.ArriveMs
+	}
+	if a.Dev != b.Dev {
+		return a.Dev < b.Dev
+	}
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	if a.Attempt != b.Attempt {
+		return a.Attempt < b.Attempt
+	}
+	return !a.Echo && b.Echo
+}
+
+// SortArrivals orders frames the way the gateway observes them (see
+// ArrivalBefore).
 func SortArrivals(arrivals []Arrival) {
-	sort.Slice(arrivals, func(i, j int) bool {
-		a, b := arrivals[i], arrivals[j]
-		if a.ArriveMs != b.ArriveMs {
-			return a.ArriveMs < b.ArriveMs
-		}
-		if a.Dev != b.Dev {
-			return a.Dev < b.Dev
-		}
-		if a.Seq != b.Seq {
-			return a.Seq < b.Seq
-		}
-		if a.Attempt != b.Attempt {
-			return a.Attempt < b.Attempt
-		}
-		return !a.Echo && b.Echo
-	})
+	sort.Slice(arrivals, func(i, j int) bool { return ArrivalBefore(arrivals[i], arrivals[j]) })
 }

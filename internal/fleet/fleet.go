@@ -58,6 +58,22 @@ type Config struct {
 	Link        LinkParams // RF channel model, identical per link
 	FreshnessMs float64    // gateway end-to-end freshness deadline (0 = off)
 
+	// Remote streams each wave's arrivals to an out-of-process gateway
+	// (ticsgate over HTTP via internal/gate.Client) instead of running
+	// the in-process gateway pass; the report's gateway fields come from
+	// Remote.Finalize. Nil = in-process gateway, the default.
+	Remote RemoteGateway
+
+	// MaxArrivals bounds the gateway arrival buffer (0 = unbounded):
+	// once that many frames have been admitted, later frames are shed at
+	// the channel exit and counted in Report.ArrivalsDropped (exported
+	// as fleet_gateway_arrivals_dropped). The cap is applied in the
+	// deterministic channel-pass order, so a capped fleet is still
+	// byte-identical across worker counts — and it applies identically
+	// to in-process and remote gateways, preserving digest parity
+	// between the two attach modes at equal caps.
+	MaxArrivals int
+
 	// Collect attaches a flight recorder to every device and folds the
 	// per-device metric registries into Report.Metrics via
 	// obs.Registry.Merge.
@@ -192,10 +208,15 @@ type Report struct {
 	UniqueSends int64 `json:"unique_sends"` // distinct (device, seq) packets
 	Link        LinkStats
 	Gateway     GatewayStats
-	Lost        int64   `json:"lost"` // unique packets that never reached the gateway
-	LatencyP50  float64 `json:"latency_p50_ms"`
-	LatencyP99  float64 `json:"latency_p99_ms"`
-	Digest      string  `json:"digest"` // gateway log digest (determinism witness)
+	// ArrivalsDropped counts frames shed at the channel exit because the
+	// arrival buffer hit Config.MaxArrivals — load shedding, distinct
+	// from channel loss (the frame survived the radio but the gateway
+	// buffer was full).
+	ArrivalsDropped int64   `json:"arrivals_dropped,omitempty"`
+	Lost            int64   `json:"lost"` // unique packets that never reached the gateway
+	LatencyP50      float64 `json:"latency_p50_ms"`
+	LatencyP99      float64 `json:"latency_p99_ms"`
+	Digest          string  `json:"digest"` // gateway log digest (determinism witness)
 
 	// Anomalies is the deterministic outlier pass over per-device
 	// outcomes: stragglers, livelock suspects, freshness hotspots.
@@ -332,6 +353,7 @@ func Run(cfg Config) (*Report, error) {
 		tel = NewTelemetry(n, cfg.FreshnessMs)
 	}
 	var arrivals []Arrival
+	var admitted int64 // arrivals admitted against cfg.MaxArrivals (both attach modes)
 	var elapsed float64
 	wave := cfg.waveSize(workers)
 	for lo := 0; lo < n; lo += wave {
@@ -362,8 +384,11 @@ func Run(cfg Config) (*Report, error) {
 		// Streaming handoff: this wave's send logs feed the channel pass
 		// in device order — the same total order as one big post-pass —
 		// and are dropped before the next wave materializes its own. The
-		// channel phase accumulates across re-entries.
+		// channel phase accumulates across re-entries. With a remote
+		// gateway the wave's arrivals ship out (and are released) here
+		// too, so the in-flight arrival buffer is one wave deep.
 		pc.enter(PhaseChannel)
+		var waveArr []Arrival
 		for i := lo; i < hi; i++ {
 			log := outcomes[i].Res.SendLog
 			outcomes[i].Sends = len(log)
@@ -372,8 +397,33 @@ func Run(cfg Config) (*Report, error) {
 			rep.UniqueSends += int64(outcomes[i].UniqueSends)
 			devArr, st := transmit(i, DeviceSeed(cfg.Seed, i), cfg.Link, log, tel)
 			rep.Link.add(st)
-			arrivals = append(arrivals, devArr...)
+			// Arrival-buffer bound: admit frames in channel-pass order up
+			// to the cap, shed (and count) the rest. PR8 bounded the send
+			// logs; this bounds the only other buffer that scales with
+			// total fleet traffic.
+			if cfg.MaxArrivals > 0 && admitted+int64(len(devArr)) > int64(cfg.MaxArrivals) {
+				keep := int64(cfg.MaxArrivals) - admitted
+				if keep < 0 {
+					keep = 0
+				}
+				rep.ArrivalsDropped += int64(len(devArr)) - keep
+				devArr = devArr[:keep]
+			}
+			admitted += int64(len(devArr))
+			if cfg.Remote != nil {
+				waveArr = append(waveArr, devArr...)
+			} else {
+				arrivals = append(arrivals, devArr...)
+			}
 			outcomes[i].Res.SendLog = nil
+		}
+		if cfg.Remote != nil {
+			// The gateway phase accumulates the wire time of each wave's
+			// ingest alongside the final Finalize call below.
+			pc.enter(PhaseGateway)
+			if err := cfg.Remote.IngestWave(waveArr); err != nil {
+				return nil, fmt.Errorf("fleet: remote gateway ingest: %w", err)
+			}
 		}
 	}
 	rep.Elapsed = elapsed
@@ -395,24 +445,43 @@ func Run(cfg Config) (*Report, error) {
 		rep.Throughput = float64(rep.TotalCycles) / elapsed
 	}
 
-	// Deterministic post-pass: the gateway consumes the globally sorted
-	// arrival order, so neither the digest nor any span chain can depend
-	// on how the pool scheduled the device waves.
-	gw := NewGateway(cfg.FreshnessMs)
+	// Deterministic post-pass. In-process: the gateway consumes the
+	// globally sorted arrival order, so neither the digest nor any span
+	// chain can depend on how the pool scheduled the device waves.
+	// Remote: the waves already streamed out; Finalize fetches the
+	// service's accounting, which is order-independent by construction
+	// (internal/gate retains the ArrivalBefore-minimal arrival per
+	// (device, seq)) and therefore equal to the in-process result.
+	var gw *Gateway
 	pc.enter(PhaseGateway)
-	SortArrivals(arrivals)
-	for _, a := range arrivals {
-		tel.onVerdict(a, gw.Accept(a))
+	if cfg.Remote != nil {
+		sum, err := cfg.Remote.Finalize()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: remote gateway finalize: %w", err)
+		}
+		pc.enter(PhaseTelemetry)
+		tel.finalizeRemote()
+		rep.Gateway = sum.Stats
+		rep.Lost = rep.UniqueSends - sum.Unique
+		rep.LatencyP50 = sum.P50Ms
+		rep.LatencyP99 = sum.P99Ms
+		rep.Digest = sum.Digest
+	} else {
+		gw = NewGateway(cfg.FreshnessMs)
+		SortArrivals(arrivals)
+		for _, a := range arrivals {
+			tel.onVerdict(a, gw.Accept(a))
+		}
+		pc.enter(PhaseTelemetry)
+		tel.finalize()
+		rep.gw = gw
+		rep.Gateway = gw.Stats()
+		rep.Lost = rep.UniqueSends - int64(gw.Unique())
+		rep.LatencyP50 = gw.LatencyQuantile(0.50)
+		rep.LatencyP99 = gw.LatencyQuantile(0.99)
+		rep.Digest = gw.Digest()
 	}
-	pc.enter(PhaseTelemetry)
-	tel.finalize()
 	rep.Telemetry = tel
-	rep.gw = gw
-	rep.Gateway = gw.Stats()
-	rep.Lost = rep.UniqueSends - int64(gw.Unique())
-	rep.LatencyP50 = gw.LatencyQuantile(0.50)
-	rep.LatencyP99 = gw.LatencyQuantile(0.99)
-	rep.Digest = gw.Digest()
 	rep.Anomalies = DetectAnomalies(rep, cfg.AnomalyK)
 
 	if cfg.Collect || cfg.Profile {
@@ -432,13 +501,20 @@ func Run(cfg Config) (*Report, error) {
 		merged.Add("fleet_gateway_duplicates", rep.Gateway.Duplicates)
 		merged.Add("fleet_gateway_expired", rep.Gateway.Expired)
 		merged.Add("fleet_packets_lost", rep.Lost)
+		// Always-present (like trace_events_dropped): a zero sample is
+		// the evidence load shedding did NOT happen.
+		merged.Add("fleet_gateway_arrivals_dropped", rep.ArrivalsDropped)
 		// The gateway's latency histogram lands in the rollup under the
 		// same bounds it was observed with, so a Prometheus
 		// histogram_quantile over the exported buckets agrees with
-		// Report.LatencyP50/P99 (both are obs.Histogram.Quantile).
-		if err := merged.RegisterHistogram("fleet_gateway_latency_ms", LatencyBounds).
-			Merge(gw.LatencyHistogram()); err != nil {
-			return nil, fmt.Errorf("fleet: latency rollup: %w", err)
+		// Report.LatencyP50/P99 (both are obs.Histogram.Quantile). A
+		// remote-attached fleet has no local histogram — its latency
+		// surface is the service's own /metrics.
+		if gw != nil {
+			if err := merged.RegisterHistogram("fleet_gateway_latency_ms", LatencyBounds).
+				Merge(gw.LatencyHistogram()); err != nil {
+				return nil, fmt.Errorf("fleet: latency rollup: %w", err)
+			}
 		}
 		for kind, c := range anomalyCounts(rep.Anomalies) {
 			merged.Add("fleet_anomaly_"+kind, c)

@@ -150,9 +150,16 @@ func (g *Gateway) DeviceLog(dev int) []Delivery {
 // Digest is a SHA-256 over the delivery log's canonical rendering — the
 // fleet's one-line determinism witness: identical digests mean identical
 // deliveries in identical order.
-func (g *Gateway) Digest() string {
+func (g *Gateway) Digest() string { return DigestOf(g.log) }
+
+// DigestOf renders a delivery log into the canonical SHA-256 digest.
+// Shared with internal/gate: the standalone gateway service hashes its
+// durable delivery state through this exact function, which is what
+// makes an HTTP-attached fleet's digest byte-comparable to an
+// in-process run of the same manifest.
+func DigestOf(log []Delivery) string {
 	h := sha256.New()
-	for _, d := range g.log {
+	for _, d := range log {
 		fmt.Fprintf(h, "%d %d %d %.6f %.6f\n", d.Dev, d.Seq, d.Value, d.SentMs, d.ArriveMs)
 	}
 	return hex.EncodeToString(h.Sum(nil))

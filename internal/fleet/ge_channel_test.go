@@ -1,0 +1,91 @@
+package fleet
+
+import "testing"
+
+// geCfg is fleetCfg with the channel switched to the Gilbert–Elliott
+// burst-loss model: near-lossless Good state, heavily lossy Bad state.
+func geCfg(workers int) Config {
+	cfg := fleetCfg(workers)
+	cfg.Link.GE = true
+	cfg.Link.GELossGood = 0.01
+	cfg.Link.GELossBad = 0.6
+	cfg.Link.GEGoodToBad = 0.08
+	cfg.Link.GEBadToGood = 0.25
+	return cfg
+}
+
+// TestGEDeterminismAcrossWorkers: the burst-loss chain is seeded from
+// the same per-device splitmix64 derivation as every other channel draw,
+// so the digest and all counters must be worker-count independent.
+func TestGEDeterminismAcrossWorkers(t *testing.T) {
+	serial, err := Run(geCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		par, err := Run(geCfg(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Digest != serial.Digest {
+			t.Fatalf("workers=%d: digest %s, serial %s", workers, par.Digest, serial.Digest)
+		}
+		if par.Link != serial.Link {
+			t.Fatalf("workers=%d: link stats %+v, serial %+v", workers, par.Link, serial.Link)
+		}
+		if par.Gateway != serial.Gateway {
+			t.Fatalf("workers=%d: gateway stats %+v, serial %+v", workers, par.Gateway, serial.Gateway)
+		}
+	}
+}
+
+// TestGEBurstiness sanity-checks the model: the chain actually visits
+// the Bad state, loses frames there, and — run with the same Good-state
+// loss but no transitions — a never-Bad chain loses far fewer frames.
+func TestGEBurstiness(t *testing.T) {
+	bursty, err := Run(geCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bursty.Link.BadFrames == 0 {
+		t.Fatal("GE chain never entered the Bad state")
+	}
+	if bursty.Link.FramesLost == 0 {
+		t.Fatal("GE channel lost nothing despite a 60% Bad-state loss rate")
+	}
+
+	calm := geCfg(1)
+	calm.Link.GEGoodToBad = 0 // pinned to Good: loss is the 1% floor
+	calmRep, err := Run(calm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calmRep.Link.BadFrames != 0 {
+		t.Fatalf("pinned-Good chain counted %d bad frames", calmRep.Link.BadFrames)
+	}
+	if calmRep.Link.FramesLost >= bursty.Link.FramesLost {
+		t.Fatalf("burst loss (%d) not worse than pinned-Good loss (%d)",
+			bursty.Link.FramesLost, calmRep.Link.FramesLost)
+	}
+}
+
+// TestGEOffPreservesUniformChannel: with GE disabled the channel must
+// consume the exact RNG draw sequence it always did — same config, same
+// digest as a run that never heard of the GE fields.
+func TestGEOffPreservesUniformChannel(t *testing.T) {
+	plain, err := Run(fleetCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fleetCfg(1)
+	cfg.Link.GELossGood = 0.9 // set but inert while GE is false
+	cfg.Link.GELossBad = 0.9
+	cfg.Link.GEGoodToBad = 0.9
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Digest != plain.Digest {
+		t.Fatal("inert GE fields changed the uniform channel's digest")
+	}
+}

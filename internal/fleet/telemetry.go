@@ -70,6 +70,12 @@ const (
 	OutcomeDelivered = "delivered"
 	OutcomeExpired   = "expired"
 	OutcomeLost      = "lost"
+	// OutcomeRemote marks a message whose frames reached a remote
+	// gateway (Config.Remote): dedup and freshness were adjudicated in
+	// the service, so the fleet-side trace ends at the channel. Messages
+	// whose every attempt died in the channel are still OutcomeLost —
+	// that much the fleet knows without the gateway.
+	OutcomeRemote = "remote"
 )
 
 // MessageTrace is the full span chain of one logical message.
@@ -175,6 +181,29 @@ func (t *Telemetry) finalize() {
 		for _, tr := range m {
 			if tr.Verdict.Outcome == "" {
 				tr.Verdict.Outcome = OutcomeLost
+			}
+		}
+	}
+}
+
+// finalizeRemote closes every chain for a fleet attached to a remote
+// gateway: a message none of whose attempts arrived is lost; anything
+// that reached the wire is adjudicated in the service (OutcomeRemote).
+func (t *Telemetry) finalizeRemote() {
+	if t == nil {
+		return
+	}
+	for _, m := range t.byDev {
+		for _, tr := range m {
+			if tr.Verdict.Outcome != "" {
+				continue
+			}
+			tr.Verdict.Outcome = OutcomeLost
+			for _, at := range tr.Attempts {
+				if !at.Lost {
+					tr.Verdict.Outcome = OutcomeRemote
+					break
+				}
 			}
 		}
 	}

@@ -1,0 +1,178 @@
+package gate
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// e2eCfg is a small but non-trivial fleet: lossy duplicating channel,
+// retransmits, and a freshness deadline, so the gateway exercises every
+// verdict.
+func e2eCfg(workers int) fleet.Config {
+	return fleet.Config{
+		Devices: 8,
+		Workers: workers,
+		App:     "ghm",
+		Runtime: "tics",
+		Power:   "harvest:40000,800",
+		Seed:    42,
+		WallMs:  300,
+		Link: fleet.LinkParams{
+			Loss: 0.1, Dup: 0.05, DelayMinMs: 2, DelayMaxMs: 20,
+			Retransmits: 2, BackoffMs: 5,
+		},
+		FreshnessMs: 500,
+		Wave:        2, // 8 devices / wave 2 = four ingest batches per run
+	}
+}
+
+// assertRemoteMatches checks the remote-attached report against the
+// in-process reference on every gateway-derived field.
+func assertRemoteMatches(t *testing.T, rep, ref *fleet.Report) {
+	t.Helper()
+	if rep.Digest != ref.Digest {
+		t.Fatalf("digest: remote %s, in-process %s", rep.Digest, ref.Digest)
+	}
+	if rep.Gateway != ref.Gateway {
+		t.Fatalf("gateway stats: remote %+v, in-process %+v", rep.Gateway, ref.Gateway)
+	}
+	if rep.Lost != ref.Lost {
+		t.Fatalf("lost: remote %d, in-process %d", rep.Lost, ref.Lost)
+	}
+	if rep.LatencyP50 != ref.LatencyP50 || rep.LatencyP99 != ref.LatencyP99 {
+		t.Fatalf("latency: remote %g/%g, in-process %g/%g",
+			rep.LatencyP50, rep.LatencyP99, ref.LatencyP50, ref.LatencyP99)
+	}
+}
+
+// TestFleetRemoteDigestEquality is the tentpole acceptance check at the
+// package level: the same manifest run against a live HTTP gateway
+// produces a report byte-identical to the in-process gateway's.
+func TestFleetRemoteDigestEquality(t *testing.T) {
+	ref, err := fleet.Run(e2eCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := openStore(t, t.TempDir(), Options{})
+	defer st.Close()
+	ts := httptest.NewServer(NewServer(st).Handler())
+	defer ts.Close()
+
+	cfg := e2eCfg(4) // different worker count on top: still identical
+	cfg.Remote = NewClient(ts.URL, cfg.FreshnessMs)
+	cfg.Trace = true // spans close via the remote path: wire-reached or lost
+	rep, err := fleet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRemoteMatches(t, rep, ref)
+	if st.Digest() != ref.Digest {
+		t.Fatal("durable store digest diverged from report")
+	}
+
+	// Remote-mode telemetry: verdicts live in the service, so every
+	// chain resolves to remote (frames reached the wire) or lost.
+	var remote, lost int64
+	for _, tr := range rep.Telemetry.Traces() {
+		switch tr.Verdict.Outcome {
+		case fleet.OutcomeRemote:
+			remote++
+		case fleet.OutcomeLost:
+			lost++
+		default:
+			t.Fatalf("dev %d seq %d: outcome %q in remote mode", tr.Dev, tr.Seq, tr.Verdict.Outcome)
+		}
+	}
+	if remote == 0 {
+		t.Fatal("no spans marked remote")
+	}
+	if lost != ref.Lost {
+		t.Fatalf("telemetry lost = %d, report lost = %d", lost, ref.Lost)
+	}
+}
+
+// crashingGateway is the HTTP-level kill-and-restart harness: on the
+// crashAt-th ingest it lets the real server make the batch durable, then
+// severs the connection without a response (the client sees a torn
+// reply) and replaces the server with one recovered from the same
+// directory — all in-memory state discarded, exactly like a SIGKILL +
+// restart.
+type crashingGateway struct {
+	t       *testing.T
+	dir     string
+	crashAt int
+
+	mu      sync.Mutex
+	srv     *Server
+	batches int
+	crashed bool
+}
+
+func (g *crashingGateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	if r.Method == http.MethodPost && !g.crashed {
+		g.batches++
+		if g.batches == g.crashAt {
+			g.crashed = true
+			// Apply + fsync for real, discard the response.
+			g.srv.Handler().ServeHTTP(httptest.NewRecorder(), r)
+			// "Restart": recover a fresh server from disk alone.
+			st, err := Open(g.dir, Options{})
+			if err != nil {
+				g.mu.Unlock()
+				g.t.Errorf("recovery open: %v", err)
+				return
+			}
+			if st.Recovery().Batches == 0 {
+				g.t.Error("recovery replayed no batches")
+			}
+			g.srv = NewServer(st)
+			g.mu.Unlock()
+			// Tear the connection mid-response.
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+	}
+	srv := g.srv
+	g.mu.Unlock()
+	srv.Handler().ServeHTTP(w, r)
+}
+
+// TestFleetRemoteCrashRestart is the acceptance criterion with the kill
+// in the worst window: the gateway dies after fsyncing a batch but
+// before acknowledging it, restarts from disk, and the fleet's retried
+// batch dedups — final digest still byte-identical to in-process.
+func TestFleetRemoteCrashRestart(t *testing.T) {
+	ref, err := fleet.Run(e2eCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	st := openStore(t, dir, Options{})
+	gw := &crashingGateway{t: t, dir: dir, crashAt: 3, srv: NewServer(st)}
+	ts := httptest.NewServer(gw)
+	defer ts.Close()
+
+	cfg := e2eCfg(2)
+	client := NewClient(ts.URL, cfg.FreshnessMs)
+	client.RetryBudget = 30 * time.Second
+	cfg.Remote = client
+	rep, err := fleet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gw.crashed {
+		t.Fatalf("fleet produced %d batches, crash at %d never fired", gw.batches, gw.crashAt)
+	}
+	assertRemoteMatches(t, rep, ref)
+}
